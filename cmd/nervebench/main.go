@@ -1,0 +1,51 @@
+// Command nervebench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	nervebench -list
+//	nervebench -exp fig7            # one experiment
+//	nervebench -all                 # everything (DESIGN.md §3)
+//	nervebench -exp fig6 -out dir   # write PGM artefacts
+//	nervebench -quick               # reduced workload
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nerve"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list experiment IDs and exit")
+		exp   = flag.String("exp", "", "experiment ID to run (see -list)")
+		all   = flag.Bool("all", false, "run every experiment")
+		quick = flag.Bool("quick", false, "reduced workload (CI-scale)")
+		seed  = flag.Int64("seed", 1, "random seed")
+		out   = flag.String("out", "", "directory for visualisation artefacts")
+	)
+	flag.Parse()
+
+	opts := nerve.ExperimentOptions{Quick: *quick, Seed: *seed, OutDir: *out}
+	switch {
+	case *list:
+		for _, id := range nerve.ExperimentIDs() {
+			fmt.Println(id)
+		}
+	case *all:
+		if err := nerve.RunAllExperiments(opts, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "nervebench:", err)
+			os.Exit(1)
+		}
+	case *exp != "":
+		if err := nerve.RunExperiment(*exp, opts, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "nervebench:", err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,111 @@
+// Command nervesim runs one streaming session of a chosen scheme over a
+// synthetic network trace and prints the per-chunk time line plus the
+// session QoE summary.
+//
+// Usage:
+//
+//	nervesim -net 5g -scheme full -seconds 240 -seed 7
+//	nervesim -net 4g -scheme worc -loss-scale 6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"nerve"
+)
+
+func schemeByName(set nerve.SchemeSet, name string) (nerve.Scheme, error) {
+	switch strings.ToLower(name) {
+	case "worc", "w/o-rc":
+		return set.WithoutRecovery(), nil
+	case "reuse":
+		return set.WithoutRecoveryReuse(), nil
+	case "rc":
+		return set.RecoveryAlone(), nil
+	case "rcaware":
+		return set.RecoveryAware(), nil
+	case "wosr":
+		return set.WithoutSR(), nil
+	case "sr":
+		return set.SRAlone(), nil
+	case "nemo":
+		return set.NEMO(), nil
+	case "sraware":
+		return set.SRAware(), nil
+	case "baseline":
+		return set.Baseline(), nil
+	case "both":
+		return set.BothAlone(), nil
+	case "full", "our":
+		return set.Full(), nil
+	default:
+		return nerve.Scheme{}, fmt.Errorf("unknown scheme %q (worc, reuse, rc, rcaware, wosr, sr, nemo, sraware, baseline, both, full)", name)
+	}
+}
+
+func netByName(name string) (nerve.NetworkType, error) {
+	switch strings.ToLower(name) {
+	case "3g":
+		return nerve.Net3G, nil
+	case "4g":
+		return nerve.Net4G, nil
+	case "5g":
+		return nerve.Net5G, nil
+	case "wifi":
+		return nerve.NetWiFi, nil
+	default:
+		return 0, fmt.Errorf("unknown network %q (3g, 4g, 5g, wifi)", name)
+	}
+}
+
+func main() {
+	var (
+		netName   = flag.String("net", "5g", "network type: 3g, 4g, 5g, wifi")
+		scheme    = flag.String("scheme", "full", "client scheme")
+		seconds   = flag.Float64("seconds", 240, "trace duration")
+		seed      = flag.Int64("seed", 1, "random seed")
+		lossScale = flag.Float64("loss-scale", 1, "loss multiplier (lossy experiments use 6)")
+		fecOn     = flag.Bool("fec", false, "enable planned FEC")
+		packet    = flag.Bool("packet", false, "packet-accurate transport (event-driven netem)")
+		verbose   = flag.Bool("v", false, "print per-chunk lines")
+	)
+	flag.Parse()
+
+	nt, err := netByName(*netName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nervesim:", err)
+		os.Exit(2)
+	}
+	set := nerve.NewSchemeSet()
+	set.UseFEC = *fecOn
+	sc, err := schemeByName(set, *scheme)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nervesim:", err)
+		os.Exit(2)
+	}
+	sc.UseFEC = *fecOn
+
+	tr := nerve.GenerateTrace(nt, *seconds, *seed).Downscale(1.5e6, 0.3e6, 5e6)
+	res := nerve.Simulate(nerve.SimConfig{
+		Trace: tr, Seed: *seed, LossScale: *lossScale, PacketAccurate: *packet,
+	}, sc)
+
+	if *verbose {
+		fmt.Println("  t(s)   tput(Mbps)  rate  rebuf(s)  chunkQoE")
+		for _, p := range res.Series {
+			fmt.Printf("%7.1f  %9.2f  %4d  %8.3f  %8.3f\n",
+				p.Time, p.ThroughputBps/1e6, p.RateIndex, p.RebufferSec, p.QoE)
+		}
+	}
+	fmt.Printf("scheme=%s net=%s chunks=%d\n", sc.Name, nt, len(res.Series))
+	fmt.Printf("QoE            %8.3f\n", res.QoE)
+	fmt.Printf("recovered      %7.1f%%\n", res.RecoveredFrac*100)
+	fmt.Printf("super-resolved %7.1f%%\n", res.SRFrac*100)
+	fmt.Printf("mean stall     %8.3fs/chunk\n", res.MeanStall)
+	if *fecOn {
+		fmt.Printf("mean FEC       %7.1f%%\n", res.MeanRedundancy*100)
+	}
+}

@@ -1,0 +1,77 @@
+// Command nervetrace generates, inspects and downscales synthetic network
+// traces calibrated to the paper's Table 2.
+//
+// Usage:
+//
+//	nervetrace -net 5g -seconds 300 -seed 3 > trace.json
+//	nervetrace -stats -corpus            # Table 2 statistics
+//	nervetrace -net 4g -downscale 1.5e6 > scaled.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"nerve"
+	"nerve/internal/trace"
+)
+
+func main() {
+	var (
+		netName   = flag.String("net", "5g", "network type: 3g, 4g, 5g, wifi")
+		seconds   = flag.Float64("seconds", 300, "trace duration")
+		seed      = flag.Int64("seed", 1, "random seed")
+		stats     = flag.Bool("stats", false, "print statistics instead of JSON")
+		corpus    = flag.Bool("corpus", false, "operate on the full Table 2 corpus")
+		downscale = flag.Float64("downscale", 0, "downscale mean throughput to this bps (§8.3)")
+	)
+	flag.Parse()
+
+	if *corpus {
+		c := trace.GenerateCorpus(*seed)
+		fmt.Println("network  count  dur(s)  Mbps   loss%   CV")
+		for _, nt := range trace.NetworkTypes() {
+			agg := trace.Aggregate(c[nt])
+			fmt.Printf("%-7s  %5d  %6.0f  %5.1f  %5.2f  %4.2f\n",
+				nt, agg.Count, agg.AvgDuration, agg.AvgThroughput/1e6, agg.AvgLossRate*100, agg.ThroughputCV)
+		}
+		return
+	}
+
+	var nt nerve.NetworkType
+	switch strings.ToLower(*netName) {
+	case "3g":
+		nt = nerve.Net3G
+	case "4g":
+		nt = nerve.Net4G
+	case "5g":
+		nt = nerve.Net5G
+	case "wifi":
+		nt = nerve.NetWiFi
+	default:
+		fmt.Fprintf(os.Stderr, "nervetrace: unknown network %q\n", *netName)
+		os.Exit(2)
+	}
+
+	tr := nerve.GenerateTrace(nt, *seconds, *seed)
+	if *downscale > 0 {
+		tr = tr.Downscale(*downscale, 0.3e6, 5e6)
+	}
+	if *stats {
+		st := tr.Stat()
+		fmt.Printf("name          %s\n", tr.Name)
+		fmt.Printf("duration      %.0f s\n", st.AvgDuration)
+		fmt.Printf("throughput    %.2f Mbps (CV %.2f)\n", st.AvgThroughput/1e6, st.ThroughputCV)
+		fmt.Printf("loss          %.2f%%\n", st.AvgLossRate*100)
+		fmt.Printf("rtt           %.0f ms\n", st.AvgRTT*1000)
+		return
+	}
+	enc := json.NewEncoder(os.Stdout)
+	if err := enc.Encode(tr); err != nil {
+		fmt.Fprintln(os.Stderr, "nervetrace:", err)
+		os.Exit(1)
+	}
+}

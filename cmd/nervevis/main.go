@@ -1,0 +1,51 @@
+// Command nervevis writes the qualitative visualisation artefacts of
+// Figs. 6, 9 and 11 as PGM images.
+//
+// Usage:
+//
+//	nervevis -out ./artefacts          # all three figures
+//	nervevis -out ./artefacts -fig 9
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nerve/internal/experiments"
+)
+
+func main() {
+	var (
+		out  = flag.String("out", "artefacts", "output directory")
+		fig  = flag.Int("fig", 0, "figure number (6, 9, 11; 0 = all)")
+		seed = flag.Int64("seed", 1, "random seed")
+		full = flag.Bool("full", false, "paper-scale geometry")
+	)
+	flag.Parse()
+
+	opts := experiments.Options{Quick: !*full, Seed: *seed, OutDir: *out}
+	run := map[int]func(experiments.Options) ([]string, error){
+		6: experiments.Fig6, 9: experiments.Fig9, 11: experiments.Fig11,
+	}
+	var figs []int
+	if *fig == 0 {
+		figs = []int{6, 9, 11}
+	} else if _, ok := run[*fig]; ok {
+		figs = []int{*fig}
+	} else {
+		fmt.Fprintf(os.Stderr, "nervevis: unknown figure %d (6, 9, 11)\n", *fig)
+		os.Exit(2)
+	}
+	for _, f := range figs {
+		paths, err := run[f](opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nervevis:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("fig%d:\n", f)
+		for _, p := range paths {
+			fmt.Printf("  %s\n", p)
+		}
+	}
+}

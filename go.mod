@@ -1,0 +1,3 @@
+module nerve
+
+go 1.22

@@ -1,0 +1,205 @@
+package abr
+
+import (
+	"math"
+
+	"nerve/internal/video"
+)
+
+// State is everything an ABR algorithm may inspect when choosing the next
+// chunk's rate.
+type State struct {
+	// BufferSec is the client playback buffer level.
+	BufferSec float64
+	// LastRate is the ladder index of the previous chunk (-1 before the
+	// first chunk).
+	LastRate int
+	// ThroughputHistory holds measured per-chunk throughputs in bps,
+	// oldest first.
+	ThroughputHistory []float64
+	// DownloadTimeHistory holds per-chunk download durations (seconds).
+	DownloadTimeHistory []float64
+	// NextChunkBytes is the size of the next chunk at each ladder rung.
+	NextChunkBytes []int
+	// ChunksRemaining counts chunks left including the next one.
+	ChunksRemaining int
+	// PredictedLossRate is the loss forecast for the next chunk.
+	PredictedLossRate float64
+	// ChunkSeconds is the chunk duration (4 s in the paper).
+	ChunkSeconds float64
+}
+
+// Algorithm selects the ladder index for the next chunk.
+type Algorithm interface {
+	Name() string
+	SelectRate(s State) int
+	// Reset clears per-session state before a new session.
+	Reset()
+}
+
+// numRates returns the ladder size for a state.
+func numRates(s State) int {
+	if len(s.NextChunkBytes) > 0 {
+		return len(s.NextChunkBytes)
+	}
+	return len(video.Resolutions())
+}
+
+// RateBased picks the highest rate below a safety fraction of the
+// predicted throughput.
+type RateBased struct {
+	// Safety scales the throughput estimate (default 0.9).
+	Safety float64
+	// Pred is the throughput predictor (default EWMA 0.3).
+	Pred Predictor
+}
+
+// NewRateBased returns the classical throughput-based algorithm.
+func NewRateBased() *RateBased {
+	return &RateBased{Safety: 0.9, Pred: NewEWMA(0.3)}
+}
+
+// Name implements Algorithm.
+func (r *RateBased) Name() string { return "rate-based" }
+
+// Reset implements Algorithm.
+func (r *RateBased) Reset() { r.Pred.Reset() }
+
+// SelectRate implements Algorithm.
+func (r *RateBased) SelectRate(s State) int {
+	if len(s.ThroughputHistory) > 0 {
+		r.Pred.Observe(s.ThroughputHistory[len(s.ThroughputHistory)-1])
+	}
+	est := r.Pred.Predict() * r.Safety
+	best := 0
+	for i := 0; i < numRates(s); i++ {
+		if video.Resolutions()[i].Bitrate() <= est {
+			best = i
+		}
+	}
+	return best
+}
+
+// BufferBased is the BBA-style algorithm: the rate is a linear function of
+// the buffer level between a reservoir and a cushion.
+type BufferBased struct {
+	// ReservoirSec and CushionSec bound the linear region (defaults 5/15).
+	ReservoirSec, CushionSec float64
+}
+
+// NewBufferBased returns a BBA-style algorithm.
+func NewBufferBased() *BufferBased {
+	return &BufferBased{ReservoirSec: 5, CushionSec: 15}
+}
+
+// Name implements Algorithm.
+func (b *BufferBased) Name() string { return "buffer-based" }
+
+// Reset implements Algorithm.
+func (b *BufferBased) Reset() {}
+
+// SelectRate implements Algorithm.
+func (b *BufferBased) SelectRate(s State) int {
+	n := numRates(s)
+	if s.BufferSec <= b.ReservoirSec {
+		return 0
+	}
+	if s.BufferSec >= b.ReservoirSec+b.CushionSec {
+		return n - 1
+	}
+	f := (s.BufferSec - b.ReservoirSec) / b.CushionSec
+	idx := int(f * float64(n))
+	if idx >= n {
+		idx = n - 1
+	}
+	return idx
+}
+
+// MPC is the robust model-predictive-control algorithm (Yin et al.): it
+// enumerates rate plans over a lookahead horizon, simulates the buffer with
+// a conservative throughput estimate, and picks the first step of the plan
+// with the best QoE.
+type MPC struct {
+	// Horizon is the lookahead depth in chunks (default 5).
+	Horizon int
+	// Mu is the rebuffer penalty (default 4.3).
+	Mu float64
+	// Robust discounts the throughput estimate by the recent maximum
+	// prediction error (robustMPC) when true.
+	Robust bool
+}
+
+// NewMPC returns robustMPC with the usual defaults.
+func NewMPC() *MPC { return &MPC{Horizon: 5, Mu: 4.3, Robust: true} }
+
+// Name implements Algorithm.
+func (m *MPC) Name() string {
+	if m.Robust {
+		return "robust-mpc"
+	}
+	return "mpc"
+}
+
+// Reset implements Algorithm.
+func (m *MPC) Reset() {}
+
+// SelectRate implements Algorithm.
+func (m *MPC) SelectRate(s State) int {
+	n := numRates(s)
+	est := HarmonicMean(s.ThroughputHistory, 5)
+	if est <= 0 {
+		return 0
+	}
+	if m.Robust {
+		err := maxPredictionError(s.ThroughputHistory, 5)
+		est /= 1 + err
+	}
+	horizon := m.Horizon
+	if s.ChunksRemaining > 0 && s.ChunksRemaining < horizon {
+		horizon = s.ChunksRemaining
+	}
+	if horizon < 1 {
+		horizon = 1
+	}
+	chunkSec := s.ChunkSeconds
+	if chunkSec <= 0 {
+		chunkSec = 4
+	}
+
+	bestQoE := math.Inf(-1)
+	bestFirst := 0
+	plan := make([]int, horizon)
+	var rec func(depth int, buffer, lastMbps, acc float64)
+	rec = func(depth int, buffer, lastMbps, acc float64) {
+		if depth == horizon {
+			if acc > bestQoE {
+				bestQoE = acc
+				bestFirst = plan[0]
+			}
+			return
+		}
+		for r := 0; r < n; r++ {
+			plan[depth] = r
+			rate := video.Resolutions()[r].Bitrate()
+			bytes := rate * chunkSec / 8
+			if depth == 0 && len(s.NextChunkBytes) == n {
+				bytes = float64(s.NextChunkBytes[r])
+			}
+			dl := bytes * 8 / est
+			rebuf := math.Max(0, dl-buffer)
+			newBuf := math.Max(0, buffer-dl) + chunkSec
+			mbps := rate / 1e6
+			q := mbps - m.Mu*rebuf
+			if lastMbps >= 0 {
+				q -= math.Abs(mbps - lastMbps)
+			}
+			rec(depth+1, newBuf, mbps, acc+q)
+		}
+	}
+	last := -1.0
+	if s.LastRate >= 0 && s.LastRate < n {
+		last = video.Resolutions()[s.LastRate].Bitrate() / 1e6
+	}
+	rec(0, s.BufferSec, last, 0)
+	return bestFirst
+}

@@ -1,0 +1,61 @@
+package abr
+
+import (
+	"math"
+
+	"nerve/internal/video"
+)
+
+// BOLA is the Lyapunov-based buffer-only algorithm of Spiteri et al.
+// (cited by the paper among the ABR baselines): for each rung it maximises
+// (V·utility + V·γ − buffer-cost)/size using only the buffer level, with
+// utilities u_r = ln(rate_r / rate_min).
+type BOLA struct {
+	// V trades utility against buffer deviation; larger V favours
+	// quality. Derived from the buffer target when zero.
+	V float64
+	// Gamma is the rebuffer-avoidance utility weight (default 5·p, with
+	// p the chunk duration weighting from the BOLA paper; we use 5).
+	Gamma float64
+	// BufferTargetSec anchors the operating point (default 12).
+	BufferTargetSec float64
+}
+
+// NewBOLA returns BOLA with defaults tuned for the 8–30 s buffer regime.
+func NewBOLA() *BOLA { return &BOLA{Gamma: 5, BufferTargetSec: 12} }
+
+// Name implements Algorithm.
+func (b *BOLA) Name() string { return "bola" }
+
+// Reset implements Algorithm.
+func (b *BOLA) Reset() {}
+
+// SelectRate implements Algorithm.
+func (b *BOLA) SelectRate(s State) int {
+	n := numRates(s)
+	chunkSec := s.ChunkSeconds
+	if chunkSec <= 0 {
+		chunkSec = 4
+	}
+	minRate := video.Resolutions()[0].Bitrate()
+	maxUtil := math.Log(video.Resolutions()[n-1].Bitrate() / minRate)
+	v := b.V
+	if v <= 0 {
+		// Choose V so the top rung is selected when the buffer sits at
+		// the target: V·(u_max + γ) = target.
+		v = b.BufferTargetSec / (maxUtil + b.Gamma)
+	}
+	best := 0
+	bestScore := math.Inf(-1)
+	for r := 0; r < n; r++ {
+		rate := video.Resolutions()[r].Bitrate()
+		size := rate * chunkSec // proportional to bits
+		util := math.Log(rate / minRate)
+		score := (v*(util+b.Gamma) - s.BufferSec) / size
+		if score > bestScore {
+			bestScore = score
+			best = r
+		}
+	}
+	return best
+}

@@ -1,0 +1,246 @@
+package abr
+
+import (
+	"math"
+
+	"nerve/internal/qoe"
+	"nerve/internal/video"
+)
+
+// EnhancementModel carries the offline-calibrated knowledge §6 needs to
+// estimate post-enhancement QoE: the delivered/recovered/super-resolved
+// quality at each ladder rung (Fig. 4-style maps built on the training
+// videos) and the device-side processing times.
+type EnhancementModel struct {
+	// Delivered maps bitrate → delivered PSNR (no enhancement).
+	Delivered *qoe.QualityMap
+	// RecoveredPSNR is the average PSNR of frames reconstructed by the
+	// recovery model when streamed at each ladder rung.
+	RecoveredPSNR []float64
+	// SRPSNR is the average PSNR after super-resolution at each rung.
+	SRPSNR []float64
+	// RecoveryDecay is the per-consecutive-frame PSNR decay of recovered
+	// chains (Fig. 4a slope, dB/frame; ≥ 0).
+	RecoveryDecay float64
+	// TRecovery and TSR are the per-frame processing times (seconds).
+	TRecovery, TSR float64
+}
+
+// EnhancementAware is the paper's ABR (§6): for every candidate bitrate it
+// estimates the chunk QoE including the effect of video recovery and
+// super-resolution on both quality and rebuffering, and picks the argmax.
+// Disabling both awareness flags degrades it to a throughput/QoE greedy
+// baseline, which is exactly the "w/o recovery-aware" ablation the paper
+// evaluates.
+type EnhancementAware struct {
+	Model EnhancementModel
+	// Mu is the rebuffering penalty.
+	Mu float64
+	// RecoveryAware and SRAware toggle the two awareness terms.
+	RecoveryAware, SRAware bool
+	// FramesPerChunk is the number of frames per chunk (120 at 30 FPS ×
+	// 4 s).
+	FramesPerChunk int
+
+	lastUtility float64
+	started     bool
+}
+
+// NewEnhancementAware returns the full enhancement-aware ABR.
+func NewEnhancementAware(model EnhancementModel) *EnhancementAware {
+	return &EnhancementAware{
+		Model:          model,
+		Mu:             4.3,
+		RecoveryAware:  true,
+		SRAware:        true,
+		FramesPerChunk: 120,
+	}
+}
+
+// Name implements Algorithm.
+func (e *EnhancementAware) Name() string {
+	switch {
+	case e.RecoveryAware && e.SRAware:
+		return "nerve-abr"
+	case e.RecoveryAware:
+		return "recovery-aware-abr"
+	case e.SRAware:
+		return "sr-aware-abr"
+	default:
+		return "plain-qoe-abr"
+	}
+}
+
+// Reset implements Algorithm.
+func (e *EnhancementAware) Reset() { e.lastUtility, e.started = 0, false }
+
+// SelectRate implements Algorithm.
+func (e *EnhancementAware) SelectRate(s State) int {
+	n := numRates(s)
+	est := HarmonicMean(s.ThroughputHistory, 5)
+	if est <= 0 {
+		return 0
+	}
+	// robustMPC's error discount protects against rebuffering when a
+	// prediction overshoots. With the recovery model as a safety net a
+	// late frame costs at most T_RC, so the recovery-aware ABR can be
+	// nearly risk-neutral and harvest the higher rates — this is the
+	// "choose the bitrate more wisely" effect of §6.
+	err := maxPredictionError(s.ThroughputHistory, 5)
+	if e.RecoveryAware {
+		est /= 1 + 0.1*err
+	} else {
+		est /= 1 + err
+	}
+
+	best := 0
+	bestQ := math.Inf(-1)
+	var bestUtil float64
+	for r := 0; r < n; r++ {
+		q, util := e.chunkQoE(s, r, est)
+		// Switching hysteresis: volatile throughput estimates otherwise
+		// make the argmax oscillate between adjacent rungs, and every
+		// oscillation pays the smoothness penalty twice.
+		if s.LastRate >= 0 {
+			d := r - s.LastRate
+			if d < 0 {
+				d = -d
+			}
+			q -= 0.12 * float64(d)
+		}
+		if q > bestQ {
+			bestQ = q
+			best = r
+			bestUtil = util
+		}
+	}
+	// SR flattens the utility curve across rungs (low rungs get uplifted
+	// the most), so when two rates are nearly equal in predicted QoE the
+	// SR-aware policy prefers the lower, lower-risk one.
+	if e.SRAware {
+		for r := 0; r < best; r++ {
+			q, util := e.chunkQoE(s, r, est)
+			if q >= bestQ-0.05 {
+				best = r
+				bestUtil = util
+				break
+			}
+		}
+	}
+	e.lastUtility = bestUtil
+	e.started = true
+	return best
+}
+
+// chunkQoE estimates the QoE of streaming the next chunk at rung r given
+// the (conservative) throughput estimate, following §6's frame-level
+// accounting, and returns it with the utility term.
+func (e *EnhancementAware) chunkQoE(s State, r int, tput float64) (qoeVal, utility float64) {
+	frames := e.FramesPerChunk
+	if frames <= 0 {
+		frames = 120
+	}
+	chunkSec := s.ChunkSeconds
+	if chunkSec <= 0 {
+		chunkSec = 4
+	}
+	delta := chunkSec / float64(frames)
+
+	rate := video.Resolutions()[r].Bitrate()
+	bytes := rate * chunkSec / 8
+	if len(s.NextChunkBytes) > r && s.NextChunkBytes[r] > 0 {
+		bytes = float64(s.NextChunkBytes[r])
+	}
+	perFrameBytes := bytes / float64(frames)
+
+	// Frame classification per §6: for frame i, expected play time
+	// T_play = buffer + i·Δ and expected arrival T_arr = Σ_{j≤i} S_j/tput.
+	late := 0
+	srCapable := 0
+	for i := 0; i < frames; i++ {
+		tPlay := s.BufferSec + float64(i)*delta
+		tArr := perFrameBytes * float64(i+1) * 8 / tput
+		switch {
+		case tArr > tPlay:
+			late++
+		case tPlay > tArr+e.Model.TSR:
+			srCapable++
+		}
+	}
+	// Lost frames (network loss beyond FEC) also need recovery.
+	lost := int(s.PredictedLossRate * float64(frames))
+	needRecovery := late + lost
+	if needRecovery > frames {
+		needRecovery = frames
+	}
+	if srCapable > frames-needRecovery {
+		srCapable = frames - needRecovery
+	}
+	plain := frames - needRecovery - srCapable
+
+	mbps := rate / 1e6
+	basePSNR := e.Model.Delivered.PSNRAt(mbps)
+
+	// Per-class utilities on the bitrate-equivalent scale.
+	util := func(psnr float64) float64 { return e.Model.Delivered.MbpsForPSNR(psnr) }
+
+	var recUtil float64
+	var rebuf float64
+	if e.RecoveryAware {
+		// Recovered frames: quality from the recovery map, degraded with
+		// the expected run length of consecutive recoveries.
+		recPSNR := basePSNR
+		if len(e.Model.RecoveredPSNR) > r {
+			recPSNR = e.Model.RecoveredPSNR[r]
+		}
+		// Expected consecutive-recovery run length: late frames cluster
+		// in the tail of a slow chunk, so runs scale with the fraction.
+		frac := float64(needRecovery) / float64(frames)
+		runLen := 1 + frac*60
+		if runLen > 50 {
+			runLen = 50
+		}
+		recPSNR -= e.Model.RecoveryDecay * runLen
+		recUtil = util(recPSNR)
+		// Rebuffer impact (§6): each *late* frame costs at most T_RC,
+		// and only the part of T_RC exceeding the frame interval ever
+		// stalls (22 ms fits inside the 33 ms budget ⇒ zero on the
+		// iPhone 12).
+		rebuf = float64(late) * math.Max(0, e.Model.TRecovery-delta)
+	} else {
+		// Without recovery, late frames stall until the download catches
+		// up and lost frames stall ≈1.5 RTT for retransmission when the
+		// buffer slack cannot absorb it.
+		dl := bytes * 8 / tput
+		rebuf = math.Max(0, dl-s.BufferSec)
+		if s.BufferSec < 1.5 {
+			rebuf += float64(lost) * 0.1
+		}
+		recUtil = util(basePSNR) // frames eventually shown after stalls
+	}
+
+	srUtil := util(basePSNR)
+	if e.SRAware && len(e.Model.SRPSNR) > r {
+		srUtil = util(e.Model.SRPSNR[r])
+	}
+	plainUtil := util(basePSNR)
+
+	// Anticipate decoder drift: a recovery client's corrupted/late
+	// references degrade the rest of the GOP, so rates that force many
+	// recoveries lose part of their plain-frame utility too.
+	if e.RecoveryAware {
+		prop := math.Min(1, float64(needRecovery)/float64(frames)*4)
+		if prop > 0 {
+			plainUtil -= 0.25 * prop * math.Max(0, plainUtil-recUtil)
+			srUtil -= 0.25 * prop * math.Max(0, srUtil-recUtil)
+		}
+	}
+
+	utility = (float64(needRecovery)*recUtil + float64(srCapable)*srUtil + float64(plain)*plainUtil) / float64(frames)
+
+	q := utility - e.Mu*rebuf
+	if e.started {
+		q -= math.Abs(utility - e.lastUtility)
+	}
+	return q, utility
+}

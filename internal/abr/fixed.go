@@ -1,0 +1,27 @@
+package abr
+
+// FixedRate always selects one ladder rung — used to measure
+// network-induced effects without adaptation feedback (e.g. the
+// recovered-frame percentages of Fig. 13b).
+type FixedRate struct {
+	// Index is the ladder rung to hold.
+	Index int
+}
+
+// Name implements Algorithm.
+func (f *FixedRate) Name() string { return "fixed-rate" }
+
+// Reset implements Algorithm.
+func (f *FixedRate) Reset() {}
+
+// SelectRate implements Algorithm.
+func (f *FixedRate) SelectRate(s State) int {
+	n := numRates(s)
+	if f.Index < 0 {
+		return 0
+	}
+	if f.Index >= n {
+		return n - 1
+	}
+	return f.Index
+}

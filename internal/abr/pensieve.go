@@ -1,0 +1,97 @@
+package abr
+
+import (
+	"nerve/internal/nn"
+	"nerve/internal/video"
+)
+
+// Pensieve is the learning-based ABR (Mao et al.) upgraded to PPO as in §6.
+// The feature vector follows the original design: last selected rate,
+// buffer level, recent throughput and download-time history, next-chunk
+// sizes per rate, and chunks remaining.
+type Pensieve struct {
+	Agent *nn.PPO
+	// Explore enables sampling (training); when false the policy is
+	// greedy (evaluation).
+	Explore bool
+
+	histLen int
+}
+
+// pensieveHistLen is the throughput/download history window (Pensieve: 8).
+const pensieveHistLen = 8
+
+// PensieveStateDim is the policy input dimensionality.
+func PensieveStateDim() int {
+	return 1 + 1 + pensieveHistLen + pensieveHistLen + len(video.Resolutions()) + 1
+}
+
+// NewPensieve builds an untrained agent (train it with sim.TrainPensieve or
+// load calibrated behaviour through your own loop).
+func NewPensieve(seed int64) *Pensieve {
+	return &Pensieve{
+		Agent:   nn.NewPPO(PensieveStateDim(), len(video.Resolutions()), 64, seed),
+		histLen: pensieveHistLen,
+	}
+}
+
+// Name implements Algorithm.
+func (p *Pensieve) Name() string { return "pensieve-ppo" }
+
+// Reset implements Algorithm.
+func (p *Pensieve) Reset() {}
+
+// Features converts a State into the policy input vector.
+func (p *Pensieve) Features(s State) []float32 {
+	f := make([]float32, 0, PensieveStateDim())
+	// Last rate, normalised by the top rung.
+	top := video.Resolutions()[len(video.Resolutions())-1].Bitrate()
+	lastRate := 0.0
+	if s.LastRate >= 0 && s.LastRate < len(video.Resolutions()) {
+		lastRate = video.Resolutions()[s.LastRate].Bitrate() / top
+	}
+	f = append(f, float32(lastRate))
+	f = append(f, float32(s.BufferSec/30))
+	f = appendTail(f, s.ThroughputHistory, p.histLen, 1.0/8e6)
+	f = appendTail(f, s.DownloadTimeHistory, p.histLen, 1.0/10)
+	for i, r := range video.Resolutions() {
+		sz := r.Bitrate() * 4 / 8
+		if len(s.NextChunkBytes) > i && s.NextChunkBytes[i] > 0 {
+			sz = float64(s.NextChunkBytes[i])
+		}
+		f = append(f, float32(sz/4e6))
+	}
+	f = append(f, float32(float64(s.ChunksRemaining)/100))
+	return f
+}
+
+func appendTail(f []float32, hist []float64, n int, scale float64) []float32 {
+	start := len(hist) - n
+	for i := 0; i < n; i++ {
+		j := start + i
+		if j < 0 {
+			f = append(f, 0)
+			continue
+		}
+		f = append(f, float32(hist[j]*scale))
+	}
+	return f
+}
+
+// SelectRate implements Algorithm.
+func (p *Pensieve) SelectRate(s State) int {
+	feat := p.Features(s)
+	if p.Explore {
+		a, _ := p.Agent.Sample(feat)
+		return a
+	}
+	return p.Agent.Greedy(feat)
+}
+
+// SelectRateLogged returns the action plus its behaviour log-prob, for
+// building PPO trajectories during training.
+func (p *Pensieve) SelectRateLogged(s State) (int, float64, []float32) {
+	feat := p.Features(s)
+	a, lp := p.Agent.Sample(feat)
+	return a, lp, feat
+}

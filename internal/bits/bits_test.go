@@ -1,0 +1,199 @@
+package bits
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadBits(t *testing.T) {
+	var w Writer
+	w.WriteBits(0b1011, 4)
+	w.WriteBits(0xABCD, 16)
+	w.WriteBit(1)
+	r := NewReader(w.Bytes())
+	if v, _ := r.ReadBits(4); v != 0b1011 {
+		t.Fatalf("got %b", v)
+	}
+	if v, _ := r.ReadBits(16); v != 0xABCD {
+		t.Fatalf("got %x", v)
+	}
+	if v, _ := r.ReadBit(); v != 1 {
+		t.Fatalf("got %d", v)
+	}
+}
+
+func TestBitLenAndPadding(t *testing.T) {
+	var w Writer
+	w.WriteBits(1, 3)
+	if w.BitLen() != 3 || w.Len() != 0 {
+		t.Fatalf("BitLen=%d Len=%d", w.BitLen(), w.Len())
+	}
+	b := w.Bytes()
+	if len(b) != 1 {
+		t.Fatalf("len=%d", len(b))
+	}
+	if b[0] != 0b00100000 {
+		t.Fatalf("padding wrong: %08b", b[0])
+	}
+}
+
+func TestUEKnownCodes(t *testing.T) {
+	// Classic Exp-Golomb table: 0→1, 1→010, 2→011, 3→00100 …
+	cases := []struct {
+		v    uint32
+		bits string
+	}{
+		{0, "1"}, {1, "010"}, {2, "011"}, {3, "00100"}, {4, "00101"},
+		{5, "00110"}, {6, "00111"}, {7, "0001000"},
+	}
+	for _, c := range cases {
+		var w Writer
+		w.WriteUE(c.v)
+		got := ""
+		r := NewReader(w.Bytes())
+		for i := 0; i < len(c.bits); i++ {
+			b, err := r.ReadBit()
+			if err != nil {
+				t.Fatalf("v=%d short code", c.v)
+			}
+			got += string(rune('0' + b))
+		}
+		if got != c.bits {
+			t.Errorf("UE(%d) = %s want %s", c.v, got, c.bits)
+		}
+	}
+}
+
+func TestUERoundTrip(t *testing.T) {
+	f := func(v uint32) bool {
+		v %= 1 << 20
+		var w Writer
+		w.WriteUE(v)
+		r := NewReader(w.Bytes())
+		got, err := r.ReadUE()
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSERoundTrip(t *testing.T) {
+	f := func(v int32) bool {
+		v %= 1 << 18
+		var w Writer
+		w.WriteSE(v)
+		r := NewReader(w.Bytes())
+		got, err := r.ReadSE()
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSEMapping(t *testing.T) {
+	// Order of signed mapping: 0,1,-1,2,-2 must produce increasing UE.
+	seq := []int32{0, 1, -1, 2, -2, 3, -3}
+	prevLen := 0
+	for _, v := range seq {
+		var w Writer
+		w.WriteSE(v)
+		if w.BitLen() < prevLen {
+			t.Fatalf("SE(%d) shorter than previous", v)
+		}
+		prevLen = w.BitLen()
+	}
+}
+
+func TestMixedStreamRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	type op struct {
+		kind int
+		u    uint32
+		s    int32
+		n    uint
+		raw  uint64
+	}
+	var ops []op
+	var w Writer
+	for i := 0; i < 1000; i++ {
+		o := op{kind: rng.Intn(3)}
+		switch o.kind {
+		case 0:
+			o.u = uint32(rng.Intn(100000))
+			w.WriteUE(o.u)
+		case 1:
+			o.s = int32(rng.Intn(20001) - 10000)
+			w.WriteSE(o.s)
+		default:
+			o.n = uint(rng.Intn(24) + 1)
+			o.raw = uint64(rng.Int63()) & (1<<o.n - 1)
+			w.WriteBits(o.raw, o.n)
+		}
+		ops = append(ops, o)
+	}
+	r := NewReader(w.Bytes())
+	for i, o := range ops {
+		switch o.kind {
+		case 0:
+			got, err := r.ReadUE()
+			if err != nil || got != o.u {
+				t.Fatalf("op %d UE got %d,%v want %d", i, got, err, o.u)
+			}
+		case 1:
+			got, err := r.ReadSE()
+			if err != nil || got != o.s {
+				t.Fatalf("op %d SE got %d,%v want %d", i, got, err, o.s)
+			}
+		default:
+			got, err := r.ReadBits(o.n)
+			if err != nil || got != o.raw {
+				t.Fatalf("op %d raw got %d,%v want %d", i, got, err, o.raw)
+			}
+		}
+	}
+}
+
+func TestReadPastEnd(t *testing.T) {
+	r := NewReader([]byte{0xFF})
+	if _, err := r.ReadBits(8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadBit(); err != ErrOutOfData {
+		t.Fatalf("want ErrOutOfData, got %v", err)
+	}
+	if _, err := r.ReadUE(); err == nil {
+		t.Fatal("ReadUE past end must fail")
+	}
+}
+
+func TestMalformedUE(t *testing.T) {
+	// 40 zero bits with no terminator: malformed.
+	r := NewReader(make([]byte, 6))
+	if _, err := r.ReadUE(); err == nil {
+		t.Fatal("expected malformed-code error")
+	}
+}
+
+func TestRemaining(t *testing.T) {
+	r := NewReader([]byte{0, 0})
+	if r.Remaining() != 16 {
+		t.Fatalf("Remaining=%d", r.Remaining())
+	}
+	r.ReadBits(5)
+	if r.Remaining() != 11 {
+		t.Fatalf("Remaining=%d", r.Remaining())
+	}
+}
+
+func TestWriteBitsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	var w Writer
+	w.WriteBits(0, 65)
+}

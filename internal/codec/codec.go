@@ -1,0 +1,646 @@
+package codec
+
+import (
+	"fmt"
+	"math"
+
+	"nerve/internal/bits"
+	"nerve/internal/vmath"
+)
+
+// FrameType distinguishes intra (I) from predicted (P) frames.
+type FrameType uint8
+
+const (
+	// FrameI is an intra frame: decodable without a reference.
+	FrameI FrameType = iota
+	// FrameP is a predicted frame: motion-compensated from the previous
+	// reconstructed frame.
+	FrameP
+)
+
+func (t FrameType) String() string {
+	if t == FrameI {
+		return "I"
+	}
+	return "P"
+}
+
+// Config parameterises an encoder/decoder pair.
+type Config struct {
+	W, H          int     // frame dimensions in pixels
+	GOP           int     // intra period in frames (paper: 120 = 4 s)
+	TargetBitrate float64 // bits per second
+	FPS           float64 // frames per second
+	PacketPayload int     // target slice payload in bytes (≈ one packet)
+	SearchRange   int     // motion search range in pixels
+}
+
+// withDefaults fills unset fields with the system defaults.
+func (c Config) withDefaults() Config {
+	if c.GOP <= 0 {
+		c.GOP = 120
+	}
+	if c.FPS <= 0 {
+		c.FPS = 30
+	}
+	if c.PacketPayload <= 0 {
+		c.PacketPayload = 1100
+	}
+	if c.SearchRange <= 0 {
+		c.SearchRange = 15
+	}
+	if c.TargetBitrate <= 0 {
+		c.TargetBitrate = 1e6
+	}
+	return c
+}
+
+// Slice is an independently decodable group of macroblock rows. One slice is
+// carried in one transport packet; losing a packet loses exactly its rows.
+type Slice struct {
+	FrameIndex int
+	Type       FrameType
+	MBRowStart int // first macroblock row covered
+	MBRowCount int
+	Q          float32
+	Data       []byte
+}
+
+// Bytes returns the payload size of the slice including a nominal 8-byte
+// header (frame index, row range, quantiser).
+func (s *Slice) Bytes() int { return len(s.Data) + 8 }
+
+// EncodedFrame is the encoder output for one frame.
+type EncodedFrame struct {
+	Index  int
+	Type   FrameType
+	W, H   int
+	Slices []Slice
+	// Recon is the encoder-side reconstruction: the frame a decoder
+	// produces when every slice arrives. Useful for quality accounting.
+	Recon *vmath.Plane
+}
+
+// TotalBytes returns the summed payload size of all slices.
+func (f *EncodedFrame) TotalBytes() int {
+	n := 0
+	for i := range f.Slices {
+		n += f.Slices[i].Bytes()
+	}
+	return n
+}
+
+// Encoder compresses a frame sequence. Create one with NewEncoder; it is not
+// safe for concurrent use.
+type Encoder struct {
+	cfg        Config
+	ref        *vmath.Plane // previous reconstruction
+	qI, qP     float32
+	frameCount int
+	mbRows     int
+	mbCols     int
+}
+
+// NewEncoder returns an encoder for the configuration.
+func NewEncoder(cfg Config) *Encoder {
+	cfg = cfg.withDefaults()
+	if cfg.W <= 0 || cfg.H <= 0 {
+		panic(fmt.Sprintf("codec: invalid dimensions %dx%d", cfg.W, cfg.H))
+	}
+	return &Encoder{
+		cfg:    cfg,
+		qI:     6,
+		qP:     4,
+		mbRows: (cfg.H + MBSize - 1) / MBSize,
+		mbCols: (cfg.W + MBSize - 1) / MBSize,
+	}
+}
+
+// Config returns the encoder configuration (defaults applied).
+func (e *Encoder) Config() Config { return e.cfg }
+
+// MBRows returns the number of macroblock rows per frame.
+func (e *Encoder) MBRows() int { return e.mbRows }
+
+// frameBudget returns the bit budget for the next frame of the given type.
+// Intra frames receive a 6× weight within the GOP.
+func (e *Encoder) frameBudget(t FrameType) float64 {
+	base := e.cfg.TargetBitrate / e.cfg.FPS
+	const wI = 6.0
+	g := float64(e.cfg.GOP)
+	if t == FrameI {
+		return base * g * wI / (wI + g - 1)
+	}
+	return base * g / (wI + g - 1)
+}
+
+// Encode compresses the next frame. The frame must match the configured
+// dimensions. Rate control adapts the quantiser toward the target bitrate,
+// re-encoding once when a frame lands far from its budget.
+func (e *Encoder) Encode(frame *vmath.Plane) *EncodedFrame {
+	if frame.W != e.cfg.W || frame.H != e.cfg.H {
+		panic(fmt.Sprintf("codec: frame %dx%d does not match config %dx%d", frame.W, frame.H, e.cfg.W, e.cfg.H))
+	}
+	ftype := FrameP
+	if e.frameCount%e.cfg.GOP == 0 || e.ref == nil {
+		ftype = FrameI
+	}
+	q := e.qP
+	if ftype == FrameI {
+		q = e.qI
+	}
+	budget := e.frameBudget(ftype)
+
+	ef := e.encodeAttempt(frame, ftype, q)
+	bitsUsed := float64(ef.TotalBytes() * 8)
+	if bitsUsed > 1.5*budget || bitsUsed < 0.5*budget {
+		q = clampQ(q * float32(math.Pow(bitsUsed/budget, 0.8)))
+		ef = e.encodeAttempt(frame, ftype, q)
+		bitsUsed = float64(ef.TotalBytes() * 8)
+	}
+	// Slow adaptation for the next frame of this type.
+	adj := clampQ(q * float32(math.Pow(bitsUsed/budget, 0.5)))
+	if ftype == FrameI {
+		e.qI = adj
+	} else {
+		e.qP = adj
+	}
+
+	e.ref = ef.Recon
+	ef.Index = e.frameCount
+	for i := range ef.Slices {
+		ef.Slices[i].FrameIndex = e.frameCount
+	}
+	e.frameCount++
+	return ef
+}
+
+func clampQ(q float32) float32 {
+	if q < 0.5 {
+		return 0.5
+	}
+	if q > 120 {
+		return 120
+	}
+	return q
+}
+
+// encodeAttempt performs one encoding pass at quantiser q.
+func (e *Encoder) encodeAttempt(frame *vmath.Plane, ftype FrameType, q float32) *EncodedFrame {
+	recon := vmath.NewPlane(e.cfg.W, e.cfg.H)
+	ef := &EncodedFrame{Type: ftype, W: e.cfg.W, H: e.cfg.H, Recon: recon}
+
+	var w *bits.Writer
+	sliceStartRow := 0
+	flushSlice := func(endRow int) {
+		if w == nil {
+			return
+		}
+		ef.Slices = append(ef.Slices, Slice{
+			Type:       ftype,
+			MBRowStart: sliceStartRow,
+			MBRowCount: endRow - sliceStartRow,
+			Q:          q,
+			Data:       w.Bytes(),
+		})
+		w = nil
+	}
+
+	for row := 0; row < e.mbRows; row++ {
+		if w == nil {
+			w = &bits.Writer{}
+			sliceStartRow = row
+		}
+		e.encodeMBRow(frame, recon, ftype, q, row, w)
+		if w.Len() >= e.cfg.PacketPayload {
+			flushSlice(row + 1)
+		}
+	}
+	flushSlice(e.mbRows)
+	return ef
+}
+
+// encodeMBRow encodes one macroblock row into w, reconstructing into recon.
+// The motion-vector predictor resets at the start of every row so that
+// slices (which are whole rows) stay independently decodable.
+func (e *Encoder) encodeMBRow(frame, recon *vmath.Plane, ftype FrameType, q float32, row int, w *bits.Writer) {
+	pred := MV{}
+	cy := row * MBSize
+	for col := 0; col < e.mbCols; col++ {
+		cx := col * MBSize
+		if ftype == FrameI {
+			w.WriteUE(uint32(modeIntra))
+			e.codeIntraMB(frame, recon, cx, cy, q, w)
+			continue
+		}
+		mv, sad := searchMV(frame, e.ref, cx, cy, pred, e.cfg.SearchRange)
+		sadPred := sadMB(frame, e.ref, cx, cy, pred, 1<<62)
+		// Skip: predictor vector is already good enough.
+		if sadPred <= int64(MBSize*MBSize*2) {
+			w.WriteUE(uint32(modeSkip))
+			mcMB(e.ref, recon, cx, cy, pred, e.cfg.W, e.cfg.H)
+			continue
+		}
+		// Intra fallback when motion compensation fails (scene cut, new
+		// content): compare against deviation from the block mean.
+		if sad > intraCost(frame, cx, cy) {
+			w.WriteUE(uint32(modeIntra))
+			e.codeIntraMB(frame, recon, cx, cy, q, w)
+			pred = MV{}
+			continue
+		}
+		w.WriteUE(uint32(modeInter))
+		w.WriteSE(int32(mv.X - pred.X))
+		w.WriteSE(int32(mv.Y - pred.Y))
+		e.codeInterMB(frame, recon, cx, cy, mv, q, w)
+		pred = mv
+	}
+}
+
+type mbMode uint32
+
+const (
+	modeSkip mbMode = iota
+	modeInter
+	modeIntra
+)
+
+// intraCost estimates the cost of intra-coding a macroblock as its total
+// absolute deviation from the block mean, scaled up slightly to bias toward
+// inter coding.
+func intraCost(frame *vmath.Plane, cx, cy int) int64 {
+	var sum float64
+	var n int
+	for y := 0; y < MBSize && cy+y < frame.H; y++ {
+		for x := 0; x < MBSize && cx+x < frame.W; x++ {
+			sum += float64(frame.At(cx+x, cy+y))
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	mean := sum / float64(n)
+	var dev float64
+	for y := 0; y < MBSize && cy+y < frame.H; y++ {
+		for x := 0; x < MBSize && cx+x < frame.W; x++ {
+			dev += math.Abs(float64(frame.At(cx+x, cy+y)) - mean)
+		}
+	}
+	return int64(dev * 1.2)
+}
+
+// mcMB writes the motion-compensated prediction of one macroblock into dst.
+func mcMB(ref, dst *vmath.Plane, cx, cy int, mv MV, w, h int) {
+	for y := 0; y < MBSize; y++ {
+		py := cy + y
+		if py >= h {
+			break
+		}
+		for x := 0; x < MBSize; x++ {
+			px := cx + x
+			if px >= w {
+				break
+			}
+			dst.Pix[py*dst.W+px] = ref.AtClamp(px+mv.X, py+mv.Y)
+		}
+	}
+}
+
+// codeIntraMB codes the four 8×8 blocks of a macroblock against the flat
+// predictor 128 and reconstructs into recon.
+func (e *Encoder) codeIntraMB(frame, recon *vmath.Plane, cx, cy int, q float32, w *bits.Writer) {
+	for by := 0; by < 2; by++ {
+		for bx := 0; bx < 2; bx++ {
+			x0 := cx + bx*blockSize
+			y0 := cy + by*blockSize
+			var blk [64]float32
+			for y := 0; y < blockSize; y++ {
+				for x := 0; x < blockSize; x++ {
+					blk[y*8+x] = frame.AtClamp(x0+x, y0+y) - 128
+				}
+			}
+			rec := codeBlock(&blk, q, w)
+			writeBlock(recon, x0, y0, rec, 128)
+		}
+	}
+}
+
+// codeInterMB codes the motion-compensated residual of a macroblock.
+func (e *Encoder) codeInterMB(frame, recon *vmath.Plane, cx, cy int, mv MV, q float32, w *bits.Writer) {
+	for by := 0; by < 2; by++ {
+		for bx := 0; bx < 2; bx++ {
+			x0 := cx + bx*blockSize
+			y0 := cy + by*blockSize
+			var blk, predB [64]float32
+			for y := 0; y < blockSize; y++ {
+				for x := 0; x < blockSize; x++ {
+					p := e.ref.AtClamp(x0+x+mv.X, y0+y+mv.Y)
+					predB[y*8+x] = p
+					blk[y*8+x] = frame.AtClamp(x0+x, y0+y) - p
+				}
+			}
+			rec := codeBlock(&blk, q, w)
+			for y := 0; y < blockSize; y++ {
+				py := y0 + y
+				if py >= recon.H {
+					break
+				}
+				for x := 0; x < blockSize; x++ {
+					px := x0 + x
+					if px >= recon.W {
+						break
+					}
+					recon.Pix[py*recon.W+px] = clamp255(predB[y*8+x] + rec[y*8+x])
+				}
+			}
+		}
+	}
+}
+
+// codeBlock transforms, quantises and entropy-codes an 8×8 block, returning
+// the reconstructed (dequantised, inverse-transformed) block.
+func codeBlock(blk *[64]float32, q float32, w *bits.Writer) *[64]float32 {
+	var coef [64]float32
+	fdct8(blk, &coef)
+	var levels [64]int32
+	quantise(&coef, q, &levels)
+
+	// Zigzag run/level coding: count of non-zeros, then (run, level) pairs.
+	var nz uint32
+	for _, i := range zigzag {
+		if levels[i] != 0 {
+			nz++
+		}
+	}
+	w.WriteUE(nz)
+	run := uint32(0)
+	for _, i := range zigzag {
+		if levels[i] == 0 {
+			run++
+			continue
+		}
+		w.WriteUE(run)
+		w.WriteSE(levels[i])
+		run = 0
+	}
+
+	var deq [64]float32
+	dequantise(&levels, q, &deq)
+	var rec [64]float32
+	idct8(&deq, &rec)
+	return &rec
+}
+
+func writeBlock(dst *vmath.Plane, x0, y0 int, blk *[64]float32, bias float32) {
+	for y := 0; y < blockSize; y++ {
+		py := y0 + y
+		if py >= dst.H {
+			break
+		}
+		for x := 0; x < blockSize; x++ {
+			px := x0 + x
+			if px >= dst.W {
+				break
+			}
+			dst.Pix[py*dst.W+px] = clamp255(blk[y*8+x] + bias)
+		}
+	}
+}
+
+func clamp255(v float32) float32 {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return v
+}
+
+// DecodeResult carries a decoded frame plus the per-pixel received mask
+// (1 = reconstructed from received data, 0 = missing/concealed).
+type DecodeResult struct {
+	Frame *vmath.Plane
+	Mask  *vmath.Plane
+	// RowsReceived counts macroblock rows reconstructed from real data.
+	RowsReceived int
+	// RowsTotal is the number of macroblock rows in the frame.
+	RowsTotal int
+}
+
+// Complete reports whether every macroblock row was received.
+func (r *DecodeResult) Complete() bool { return r.RowsReceived == r.RowsTotal }
+
+// ReceivedFraction returns the fraction of rows reconstructed from data.
+func (r *DecodeResult) ReceivedFraction() float64 {
+	if r.RowsTotal == 0 {
+		return 0
+	}
+	return float64(r.RowsReceived) / float64(r.RowsTotal)
+}
+
+// Decoder reconstructs frames from (possibly incomplete) slice sets. It
+// keeps the previous decoded frame as the motion-compensation reference;
+// the client may override it with a recovered frame via SetReference —
+// exactly what the NERVE client does after running the recovery model.
+type Decoder struct {
+	cfg    Config
+	ref    *vmath.Plane
+	mbRows int
+	mbCols int
+}
+
+// NewDecoder returns a decoder matching cfg.
+func NewDecoder(cfg Config) *Decoder {
+	cfg = cfg.withDefaults()
+	return &Decoder{
+		cfg:    cfg,
+		mbRows: (cfg.H + MBSize - 1) / MBSize,
+		mbCols: (cfg.W + MBSize - 1) / MBSize,
+	}
+}
+
+// SetReference overrides the prediction reference for the next frame
+// (e.g. with the output of the recovery model).
+func (d *Decoder) SetReference(p *vmath.Plane) {
+	if p != nil && (p.W != d.cfg.W || p.H != d.cfg.H) {
+		panic("codec: reference size mismatch")
+	}
+	d.ref = p
+}
+
+// Reference returns the current prediction reference (may be nil before the
+// first decode).
+func (d *Decoder) Reference() *vmath.Plane { return d.ref }
+
+// Decode reconstructs a frame from the slices whose index is marked true in
+// received (nil means all received). Rows with no data are concealed by
+// copying the reference (or mid-grey when there is none) and reported in
+// the mask so the recovery model can treat them as missing.
+func (d *Decoder) Decode(ef *EncodedFrame, received []bool) (*DecodeResult, error) {
+	if ef.W != d.cfg.W || ef.H != d.cfg.H {
+		return nil, fmt.Errorf("codec: encoded frame %dx%d does not match decoder %dx%d", ef.W, ef.H, d.cfg.W, d.cfg.H)
+	}
+	if received != nil && len(received) != len(ef.Slices) {
+		return nil, fmt.Errorf("codec: received mask length %d != %d slices", len(received), len(ef.Slices))
+	}
+	out := vmath.NewPlane(d.cfg.W, d.cfg.H)
+	// Conceal by default: copy reference or fill grey.
+	if d.ref != nil {
+		copy(out.Pix, d.ref.Pix)
+	} else {
+		out.Fill(128)
+	}
+	mask := vmath.NewPlane(d.cfg.W, d.cfg.H)
+	res := &DecodeResult{Frame: out, Mask: mask, RowsTotal: d.mbRows}
+
+	for si := range ef.Slices {
+		if received != nil && !received[si] {
+			continue
+		}
+		s := &ef.Slices[si]
+		if err := d.decodeSlice(s, out, mask); err != nil {
+			return nil, fmt.Errorf("codec: slice %d: %w", si, err)
+		}
+		res.RowsReceived += s.MBRowCount
+	}
+	d.ref = out
+	return res, nil
+}
+
+// decodeSlice decodes one slice's macroblock rows into out and marks mask.
+func (d *Decoder) decodeSlice(s *Slice, out, mask *vmath.Plane) error {
+	r := bits.NewReader(s.Data)
+	for row := s.MBRowStart; row < s.MBRowStart+s.MBRowCount; row++ {
+		pred := MV{}
+		cy := row * MBSize
+		for col := 0; col < d.mbCols; col++ {
+			cx := col * MBSize
+			modeU, err := r.ReadUE()
+			if err != nil {
+				return err
+			}
+			switch mbMode(modeU) {
+			case modeSkip:
+				if d.ref == nil {
+					return fmt.Errorf("skip macroblock without reference")
+				}
+				mcMB(d.ref, out, cx, cy, pred, d.cfg.W, d.cfg.H)
+			case modeInter:
+				if d.ref == nil {
+					return fmt.Errorf("inter macroblock without reference")
+				}
+				dx, err := r.ReadSE()
+				if err != nil {
+					return err
+				}
+				dy, err := r.ReadSE()
+				if err != nil {
+					return err
+				}
+				mv := MV{pred.X + int(dx), pred.Y + int(dy)}
+				if err := d.decodeInterMB(r, out, cx, cy, mv, s.Q); err != nil {
+					return err
+				}
+				pred = mv
+			case modeIntra:
+				if err := d.decodeIntraMB(r, out, cx, cy, s.Q); err != nil {
+					return err
+				}
+				pred = MV{}
+			default:
+				return fmt.Errorf("bad macroblock mode %d", modeU)
+			}
+		}
+		// Mark the whole pixel rows of this MB row as received.
+		y0 := cy
+		y1 := cy + MBSize
+		if y1 > d.cfg.H {
+			y1 = d.cfg.H
+		}
+		for y := y0; y < y1; y++ {
+			rowPix := mask.Pix[y*mask.W : y*mask.W+mask.W]
+			for x := range rowPix {
+				rowPix[x] = 1
+			}
+		}
+	}
+	return nil
+}
+
+func (d *Decoder) decodeIntraMB(r *bits.Reader, out *vmath.Plane, cx, cy int, q float32) error {
+	for by := 0; by < 2; by++ {
+		for bx := 0; bx < 2; bx++ {
+			rec, err := decodeBlock(r, q)
+			if err != nil {
+				return err
+			}
+			writeBlock(out, cx+bx*blockSize, cy+by*blockSize, rec, 128)
+		}
+	}
+	return nil
+}
+
+func (d *Decoder) decodeInterMB(r *bits.Reader, out *vmath.Plane, cx, cy int, mv MV, q float32) error {
+	for by := 0; by < 2; by++ {
+		for bx := 0; bx < 2; bx++ {
+			x0 := cx + bx*blockSize
+			y0 := cy + by*blockSize
+			rec, err := decodeBlock(r, q)
+			if err != nil {
+				return err
+			}
+			for y := 0; y < blockSize; y++ {
+				py := y0 + y
+				if py >= out.H {
+					break
+				}
+				for x := 0; x < blockSize; x++ {
+					px := x0 + x
+					if px >= out.W {
+						break
+					}
+					p := d.ref.AtClamp(px+mv.X, py+mv.Y)
+					out.Pix[py*out.W+px] = clamp255(p + rec[y*8+x])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// decodeBlock entropy-decodes, dequantises and inverse-transforms one block.
+func decodeBlock(r *bits.Reader, q float32) (*[64]float32, error) {
+	nz, err := r.ReadUE()
+	if err != nil {
+		return nil, err
+	}
+	if nz > 64 {
+		return nil, fmt.Errorf("bad coefficient count %d", nz)
+	}
+	var levels [64]int32
+	pos := 0
+	for i := uint32(0); i < nz; i++ {
+		run, err := r.ReadUE()
+		if err != nil {
+			return nil, err
+		}
+		lvl, err := r.ReadSE()
+		if err != nil {
+			return nil, err
+		}
+		pos += int(run)
+		if pos >= 64 {
+			return nil, fmt.Errorf("coefficient position overflow")
+		}
+		levels[zigzag[pos]] = lvl
+		pos++
+	}
+	var deq [64]float32
+	dequantise(&levels, q, &deq)
+	var rec [64]float32
+	idct8(&deq, &rec)
+	return &rec, nil
+}

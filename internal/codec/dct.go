@@ -1,0 +1,118 @@
+// Package codec implements the hybrid block-transform video codec that
+// stands in for VP9/H.264 in the NERVE reproduction (see DESIGN.md §1).
+//
+// It is a real, if compact, codec: 16×16 motion-compensated macroblocks,
+// 8×8 DCT of intra pixels or inter residuals, frequency-weighted uniform
+// quantisation, zigzag run/level entropy coding with Exp-Golomb codes, GOP
+// structure with periodic intra frames, per-frame rate control toward a
+// target bitrate, and slice-based packetisation so that packet loss yields
+// partially decodable frames (the Ipart input of the recovery model).
+package codec
+
+import "math"
+
+const blockSize = 8
+
+// dctBasis[u][x] = C(u)·cos((2x+1)uπ/16) — the 1-D DCT-II basis.
+var dctBasis [blockSize][blockSize]float32
+
+func init() {
+	for u := 0; u < blockSize; u++ {
+		c := math.Sqrt(2.0 / blockSize)
+		if u == 0 {
+			c = math.Sqrt(1.0 / blockSize)
+		}
+		for x := 0; x < blockSize; x++ {
+			dctBasis[u][x] = float32(c * math.Cos(float64(2*x+1)*float64(u)*math.Pi/(2*blockSize)))
+		}
+	}
+}
+
+// fdct8 computes the 2-D forward DCT of an 8×8 block (row-major in/out).
+func fdct8(in, out *[64]float32) {
+	var tmp [64]float32
+	// Rows.
+	for y := 0; y < 8; y++ {
+		for u := 0; u < 8; u++ {
+			var s float32
+			for x := 0; x < 8; x++ {
+				s += in[y*8+x] * dctBasis[u][x]
+			}
+			tmp[y*8+u] = s
+		}
+	}
+	// Columns.
+	for u := 0; u < 8; u++ {
+		for v := 0; v < 8; v++ {
+			var s float32
+			for y := 0; y < 8; y++ {
+				s += tmp[y*8+u] * dctBasis[v][y]
+			}
+			out[v*8+u] = s
+		}
+	}
+}
+
+// idct8 computes the 2-D inverse DCT of an 8×8 coefficient block.
+func idct8(in, out *[64]float32) {
+	var tmp [64]float32
+	// Columns.
+	for u := 0; u < 8; u++ {
+		for y := 0; y < 8; y++ {
+			var s float32
+			for v := 0; v < 8; v++ {
+				s += in[v*8+u] * dctBasis[v][y]
+			}
+			tmp[y*8+u] = s
+		}
+	}
+	// Rows.
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			var s float32
+			for u := 0; u < 8; u++ {
+				s += tmp[y*8+u] * dctBasis[u][x]
+			}
+			out[y*8+x] = s
+		}
+	}
+}
+
+// zigzag is the standard 8×8 zigzag scan order.
+var zigzag = [64]int{
+	0, 1, 8, 16, 9, 2, 3, 10,
+	17, 24, 32, 25, 18, 11, 4, 5,
+	12, 19, 26, 33, 40, 48, 41, 34,
+	27, 20, 13, 6, 7, 14, 21, 28,
+	35, 42, 49, 56, 57, 50, 43, 36,
+	29, 22, 15, 23, 30, 37, 44, 51,
+	58, 59, 52, 45, 38, 31, 39, 46,
+	53, 60, 61, 54, 47, 55, 62, 63,
+}
+
+// quantWeight is a JPEG-inspired frequency weighting: low frequencies are
+// quantised finely, high frequencies coarsely.
+var quantWeight [64]float32
+
+func init() {
+	for v := 0; v < 8; v++ {
+		for u := 0; u < 8; u++ {
+			quantWeight[v*8+u] = 1 + 0.6*float32(u+v)
+		}
+	}
+}
+
+// quantise maps coefficients to integer levels for quantiser step q.
+func quantise(coef *[64]float32, q float32, levels *[64]int32) {
+	for i := 0; i < 64; i++ {
+		step := q * quantWeight[i]
+		levels[i] = int32(math.Round(float64(coef[i] / step)))
+	}
+}
+
+// dequantise reconstructs coefficients from levels.
+func dequantise(levels *[64]int32, q float32, coef *[64]float32) {
+	for i := 0; i < 64; i++ {
+		coef[i] = float32(levels[i]) * q * quantWeight[i]
+	}
+}

@@ -1,0 +1,96 @@
+package codec
+
+import "nerve/internal/vmath"
+
+// MBSize is the macroblock size in pixels.
+const MBSize = 16
+
+// MV is a full-pel motion vector.
+type MV struct{ X, Y int }
+
+// sadMB computes the sum of absolute differences between the MBSize×MBSize
+// block of cur at (cx, cy) and the block of ref at (cx+mv.X, cy+mv.Y),
+// clamping reads at the frame border. Early-exits once the partial SAD
+// exceeds best.
+func sadMB(cur, ref *vmath.Plane, cx, cy int, mv MV, best int64) int64 {
+	var sad int64
+	for y := 0; y < MBSize; y++ {
+		py := cy + y
+		if py >= cur.H {
+			break
+		}
+		for x := 0; x < MBSize; x++ {
+			px := cx + x
+			if px >= cur.W {
+				break
+			}
+			d := cur.Pix[py*cur.W+px] - ref.AtClamp(px+mv.X, py+mv.Y)
+			if d < 0 {
+				d = -d
+			}
+			sad += int64(d)
+		}
+		if sad >= best {
+			return sad
+		}
+	}
+	return sad
+}
+
+// diamond search patterns.
+var (
+	largeDiamond = []MV{{0, -2}, {-1, -1}, {1, -1}, {-2, 0}, {2, 0}, {-1, 1}, {1, 1}, {0, 2}}
+	smallDiamond = []MV{{0, -1}, {-1, 0}, {1, 0}, {0, 1}}
+)
+
+// searchMV finds a motion vector for the macroblock at (cx, cy) in cur
+// relative to ref using diamond search seeded by pred, within ±maxRange.
+// It returns the vector and its SAD.
+func searchMV(cur, ref *vmath.Plane, cx, cy int, pred MV, maxRange int) (MV, int64) {
+	clampMV := func(m MV) MV {
+		if m.X > maxRange {
+			m.X = maxRange
+		} else if m.X < -maxRange {
+			m.X = -maxRange
+		}
+		if m.Y > maxRange {
+			m.Y = maxRange
+		} else if m.Y < -maxRange {
+			m.Y = -maxRange
+		}
+		return m
+	}
+	best := clampMV(pred)
+	bestSAD := sadMB(cur, ref, cx, cy, best, 1<<62)
+	// Also try the zero vector as a second seed.
+	if z := (MV{}); z != best {
+		if s := sadMB(cur, ref, cx, cy, z, bestSAD); s < bestSAD {
+			best, bestSAD = z, s
+		}
+	}
+	// Large diamond until the centre is best.
+	for iter := 0; iter < 32; iter++ {
+		improved := false
+		for _, d := range largeDiamond {
+			cand := clampMV(MV{best.X + d.X, best.Y + d.Y})
+			if cand == best {
+				continue
+			}
+			if s := sadMB(cur, ref, cx, cy, cand, bestSAD); s < bestSAD {
+				best, bestSAD = cand, s
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	// Small-diamond refinement.
+	for _, d := range smallDiamond {
+		cand := clampMV(MV{best.X + d.X, best.Y + d.Y})
+		if s := sadMB(cur, ref, cx, cy, cand, bestSAD); s < bestSAD {
+			best, bestSAD = cand, s
+		}
+	}
+	return best, bestSAD
+}

@@ -1,0 +1,120 @@
+package codec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nerve/internal/metrics"
+	"nerve/internal/vmath"
+)
+
+// Property: for any frame content, a full decode exactly reproduces the
+// encoder's reconstruction, and quality stays bounded below the raw input.
+func TestPropertyDecodeMatchesRecon(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := 32 + rng.Intn(4)*16
+		h := 32 + rng.Intn(3)*16
+		cfg := Config{W: w, H: h, GOP: 3, TargetBitrate: 400e3}
+		enc := NewEncoder(cfg)
+		dec := NewDecoder(cfg)
+		for n := 0; n < 4; n++ {
+			frame := vmath.NewPlane(w, h)
+			for i := range frame.Pix {
+				frame.Pix[i] = rng.Float32() * 255
+			}
+			frame = vmath.GaussianBlur(frame, 1.0).Clamp255()
+			ef := enc.Encode(frame)
+			res, err := dec.Decode(ef, nil)
+			if err != nil {
+				return false
+			}
+			if vmath.MAE(res.Frame, ef.Recon) > 1e-3 {
+				return false
+			}
+			if min, max := res.Frame.MinMax(); min < 0 || max > 255 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: dropping any single slice never breaks decoding of the others
+// and never improves quality over the full decode.
+func TestPropertySingleSliceLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	cfg := Config{W: 96, H: 96, GOP: 1, TargetBitrate: 900e3, PacketPayload: 250}
+	enc := NewEncoder(cfg)
+	frame := vmath.NewPlane(96, 96)
+	for i := range frame.Pix {
+		frame.Pix[i] = rng.Float32() * 255
+	}
+	frame = vmath.GaussianBlur(frame, 1.2).Clamp255()
+
+	ef := enc.Encode(frame)
+	if len(ef.Slices) < 2 {
+		t.Skip("single slice at this size")
+	}
+	fullDec := NewDecoder(cfg)
+	full, err := fullDec.Decode(ef, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullPSNR := metrics.PSNR(frame, full.Frame)
+	for drop := 0; drop < len(ef.Slices); drop++ {
+		dec := NewDecoder(cfg)
+		recv := make([]bool, len(ef.Slices))
+		for i := range recv {
+			recv[i] = i != drop
+		}
+		res, err := dec.Decode(ef, recv)
+		if err != nil {
+			t.Fatalf("drop %d: %v", drop, err)
+		}
+		if res.Complete() {
+			t.Fatalf("drop %d reported complete", drop)
+		}
+		if got := metrics.PSNR(frame, res.Frame); got > fullPSNR+1e-9 {
+			t.Fatalf("drop %d improved quality: %v > %v", drop, got, fullPSNR)
+		}
+		// Received rows must still be bit-exact with the full decode.
+		s := ef.Slices[(drop+1)%len(ef.Slices)]
+		y := s.MBRowStart * MBSize
+		for x := 0; x < cfg.W; x++ {
+			if res.Frame.At(x, y) != full.Frame.At(x, y) {
+				t.Fatalf("drop %d: received row differs at x=%d", drop, x)
+			}
+		}
+	}
+}
+
+// Property: rate control responds monotonically-ish — quadrupling the
+// target bitrate must not reduce reconstruction quality.
+func TestPropertyRateMonotonicity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		frame := vmath.NewPlane(64, 64)
+		for i := range frame.Pix {
+			frame.Pix[i] = rng.Float32() * 255
+		}
+		frame = vmath.GaussianBlur(frame, 1.0).Clamp255()
+		q := func(rate float64) float64 {
+			enc := NewEncoder(Config{W: 64, H: 64, GOP: 1, TargetBitrate: rate})
+			var last float64
+			for n := 0; n < 4; n++ { // let rate control settle
+				ef := enc.Encode(frame)
+				last = metrics.PSNR(frame, ef.Recon)
+			}
+			return last
+		}
+		return q(1200e3) >= q(300e3)-0.5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}

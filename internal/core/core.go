@@ -1,0 +1,306 @@
+// Package core assembles the NERVE system of Fig. 5: a media server that
+// encodes the ladder and extracts the per-frame binary point code, and a
+// mobile client engine that decodes, recovers lost or late frames with the
+// code, super-resolves on time-budget, and reports per-frame quality and
+// device cost. This is the frame-accurate pipeline; the chunk-level QoE
+// simulations in internal/sim use quality maps calibrated from it.
+package core
+
+import (
+	"fmt"
+
+	"nerve/internal/codec"
+	"nerve/internal/device"
+	"nerve/internal/edgecode"
+	"nerve/internal/recovery"
+	"nerve/internal/sr"
+	"nerve/internal/vmath"
+)
+
+// ServerConfig parameterises a media server.
+type ServerConfig struct {
+	// W, H is the source (and transmission) resolution.
+	W, H int
+	// TargetBitrate is the encoder target in bits/second.
+	TargetBitrate float64
+	// GOP is the intra period in frames (default 120).
+	GOP int
+	// PacketPayload is the slice/packet payload target (default 1100).
+	PacketPayload int
+	// CodeW, CodeH override the binary point code geometry (defaults
+	// 128×64 = 1 KB).
+	CodeW, CodeH int
+}
+
+// ServerFrame is what the server emits per frame: the encoded slices
+// (shipped over the unreliable media path) and the binary point code
+// (shipped over the reliable side channel).
+type ServerFrame struct {
+	Encoded *codec.EncodedFrame
+	Code    *edgecode.Code
+}
+
+// Server encodes frames and extracts their binary point codes.
+type Server struct {
+	cfg       ServerConfig
+	enc       *codec.Encoder
+	extractor *edgecode.Extractor
+}
+
+// NewServer builds a server for the configuration.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.W <= 0 || cfg.H <= 0 {
+		return nil, fmt.Errorf("core: invalid server dimensions %dx%d", cfg.W, cfg.H)
+	}
+	if cfg.TargetBitrate <= 0 {
+		cfg.TargetBitrate = 1e6
+	}
+	enc := codec.NewEncoder(codec.Config{
+		W: cfg.W, H: cfg.H,
+		GOP:           cfg.GOP,
+		TargetBitrate: cfg.TargetBitrate,
+		PacketPayload: cfg.PacketPayload,
+	})
+	return &Server{
+		cfg:       cfg,
+		enc:       enc,
+		extractor: edgecode.NewExtractor(cfg.CodeW, cfg.CodeH),
+	}, nil
+}
+
+// Process encodes the next source frame and extracts its code.
+func (s *Server) Process(frame *vmath.Plane) (*ServerFrame, error) {
+	if frame.W != s.cfg.W || frame.H != s.cfg.H {
+		return nil, fmt.Errorf("core: frame %dx%d does not match server %dx%d", frame.W, frame.H, s.cfg.W, s.cfg.H)
+	}
+	return &ServerFrame{
+		Encoded: s.enc.Encode(frame),
+		Code:    s.extractor.Extract(frame),
+	}, nil
+}
+
+// ClientConfig parameterises the client engine.
+type ClientConfig struct {
+	// W, H is the transmission resolution (must match the server).
+	W, H int
+	// OutW, OutH is the display resolution; when larger than W×H and SR
+	// is enabled, frames are super-resolved. Defaults to W×H.
+	OutW, OutH int
+	// EnableRecovery turns the recovery model on (otherwise lost/late
+	// frames reuse the previous frame).
+	EnableRecovery bool
+	// EnableSR turns super-resolution on.
+	EnableSR bool
+	// Device is the cost model used for the latency/energy accounting
+	// (default iPhone 12).
+	Device *device.Model
+}
+
+// FrameClass describes how the client produced a displayed frame.
+type FrameClass int
+
+const (
+	// ClassDecoded frames arrived complete and on time.
+	ClassDecoded FrameClass = iota
+	// ClassSR frames were additionally super-resolved.
+	ClassSR
+	// ClassRecovered frames were synthesised by the recovery model
+	// (completely missing input).
+	ClassRecovered
+	// ClassPartial frames were partially received and concealed.
+	ClassPartial
+	// ClassReused frames replayed the previous output (recovery off).
+	ClassReused
+)
+
+func (c FrameClass) String() string {
+	switch c {
+	case ClassDecoded:
+		return "decoded"
+	case ClassSR:
+		return "sr"
+	case ClassRecovered:
+		return "recovered"
+	case ClassPartial:
+		return "partial"
+	case ClassReused:
+		return "reused"
+	default:
+		return fmt.Sprintf("FrameClass(%d)", int(c))
+	}
+}
+
+// FrameResult is the client's per-frame output.
+type FrameResult struct {
+	Index int
+	Class FrameClass
+	// Frame is the displayed frame at OutW×OutH.
+	Frame *vmath.Plane
+	// ProcessSeconds is the modelled device time spent on the frame
+	// (decode + recovery/SR inference).
+	ProcessSeconds float64
+}
+
+// Client is the mobile client engine: decoder + recovery + SR with
+// temporal state, fed one frame slot at a time in playout order.
+type Client struct {
+	cfg ClientConfig
+	dec *codec.Decoder
+	rec *recovery.Recoverer
+	srr *sr.SuperResolver
+	ext *edgecode.Extractor // to derive codes of locally produced frames
+
+	prevOut   *vmath.Plane // previous displayed frame at transmission res
+	prevPrev  *vmath.Plane
+	prevCode  *edgecode.Code
+	frameIdx  int
+	recovered int
+	total     int
+}
+
+// NewClient builds a client engine.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if cfg.W <= 0 || cfg.H <= 0 {
+		return nil, fmt.Errorf("core: invalid client dimensions %dx%d", cfg.W, cfg.H)
+	}
+	if cfg.OutW <= 0 || cfg.OutH <= 0 {
+		cfg.OutW, cfg.OutH = cfg.W, cfg.H
+	}
+	if cfg.Device == nil {
+		cfg.Device = device.IPhone12()
+	}
+	c := &Client{
+		cfg: cfg,
+		dec: codec.NewDecoder(codec.Config{W: cfg.W, H: cfg.H}),
+		rec: recovery.New(recovery.Config{OutW: cfg.W, OutH: cfg.H}),
+		ext: edgecode.NewExtractor(0, 0),
+	}
+	if cfg.EnableSR && (cfg.OutW != cfg.W || cfg.OutH != cfg.H) {
+		c.srr = sr.New(sr.Config{OutW: cfg.OutW, OutH: cfg.OutH})
+	}
+	return c, nil
+}
+
+// RecoveredFraction returns the fraction of frames that needed recovery or
+// reuse so far.
+func (c *Client) RecoveredFraction() float64 {
+	if c.total == 0 {
+		return 0
+	}
+	return float64(c.recovered) / float64(c.total)
+}
+
+// Input is one playout slot's worth of received data. Encoded may be nil
+// (complete loss or frame not yet arrived); Received marks which slices of
+// Encoded arrived (nil = all). Code is the frame's binary point code from
+// the reliable side channel (nil if the client runs without hints).
+type Input struct {
+	Encoded  *codec.EncodedFrame
+	Received []bool
+	Code     *edgecode.Code
+}
+
+// Next consumes the data available for the next playout slot and returns
+// the displayed frame. It never fails to produce a frame: a complete loss
+// yields a recovered (or reused) frame.
+func (c *Client) Next(in Input) (*FrameResult, error) {
+	res := &FrameResult{Index: c.frameIdx}
+	dev := c.cfg.Device
+	c.total++
+
+	var outTx *vmath.Plane // displayed frame at transmission resolution
+	switch {
+	case in.Encoded == nil && c.prevOut == nil:
+		// Nothing at all yet: grey start-up frame.
+		outTx = vmath.NewPlane(c.cfg.W, c.cfg.H)
+		outTx.Fill(128)
+		res.Class = ClassReused
+	case in.Encoded == nil:
+		// Complete loss or late frame.
+		outTx = c.conceal(nil, nil, in.Code, res)
+	default:
+		dr, err := c.dec.Decode(in.Encoded, in.Received)
+		if err != nil {
+			return nil, fmt.Errorf("core: decode frame %d: %w", c.frameIdx, err)
+		}
+		res.ProcessSeconds += dev.DecodeLatency(nearestRung(c.cfg.W, c.cfg.H))
+		if dr.Complete() {
+			outTx = dr.Frame
+			res.Class = ClassDecoded
+		} else {
+			outTx = c.conceal(dr.Frame, dr.Mask, in.Code, res)
+			res.Class = ClassPartial
+		}
+	}
+
+	// Feed the decoder the displayed frame as the next reference (the
+	// paper's client substitutes the recovered frame for the missing
+	// reference).
+	c.dec.SetReference(outTx.Clone())
+
+	// Super-resolution stage.
+	display := outTx
+	if c.srr != nil {
+		display = c.srr.Upscale(outTx)
+		res.ProcessSeconds += dev.EnhanceLatency()
+		if res.Class == ClassDecoded {
+			res.Class = ClassSR
+		}
+	} else if c.cfg.OutW != c.cfg.W || c.cfg.OutH != c.cfg.H {
+		display = vmath.ResizeBilinear(outTx, c.cfg.OutW, c.cfg.OutH)
+	}
+
+	// Advance temporal state.
+	c.prevPrev = c.prevOut
+	c.prevOut = outTx
+	if in.Code != nil {
+		c.prevCode = in.Code
+	} else if c.prevOut != nil {
+		// Derive the code of the displayed frame locally so the chain
+		// can continue when the side channel skips a frame.
+		c.prevCode = c.ext.Extract(c.prevOut)
+	}
+	c.frameIdx++
+	res.Frame = display
+	return res, nil
+}
+
+// conceal produces a frame when input is missing or partial.
+func (c *Client) conceal(part, mask *vmath.Plane, code *edgecode.Code, res *FrameResult) *vmath.Plane {
+	c.recovered++
+	dev := c.cfg.Device
+	if !c.cfg.EnableRecovery || c.prevOut == nil {
+		res.Class = ClassReused
+		if c.prevOut == nil {
+			p := vmath.NewPlane(c.cfg.W, c.cfg.H)
+			p.Fill(128)
+			return p
+		}
+		out := c.prevOut.Clone()
+		if part != nil && mask != nil {
+			// Even the reuse client keeps correctly received regions.
+			for i := range out.Pix {
+				if mask.Pix[i] > 0.5 {
+					out.Pix[i] = part.Pix[i]
+				}
+			}
+		}
+		return out
+	}
+	res.Class = ClassRecovered
+	res.ProcessSeconds += dev.RecoveryLatency()
+	return c.rec.Recover(recovery.Input{
+		Prev:     c.prevOut,
+		PrevPrev: c.prevPrev,
+		PrevCode: c.prevCode,
+		CurCode:  code,
+		Part:     part,
+		PartMask: mask,
+	})
+}
+
+// nearestRung maps arbitrary dimensions to the closest ladder rung for the
+// decode-latency model.
+func nearestRung(w, h int) (r videoResolution) {
+	return nearestResolution(h)
+}

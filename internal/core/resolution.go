@@ -1,0 +1,25 @@
+package core
+
+import "nerve/internal/video"
+
+// videoResolution aliases the ladder type for internal helpers.
+type videoResolution = video.Resolution
+
+// nearestResolution maps a frame height to the closest ladder rung (used
+// only to look up modelled decode latency for arbitrary test resolutions).
+func nearestResolution(h int) video.Resolution {
+	best := video.R240
+	bestDiff := 1 << 30
+	for _, r := range video.Resolutions() {
+		_, rh := r.Dims()
+		d := rh - h
+		if d < 0 {
+			d = -d
+		}
+		if d < bestDiff {
+			bestDiff = d
+			best = r
+		}
+	}
+	return best
+}

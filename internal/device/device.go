@@ -1,0 +1,139 @@
+// Package device models the mobile client's compute, latency, CPU and
+// energy characteristics, calibrated to the iPhone 12 numbers the paper
+// reports (§7, §8.4 and Table 1). All simulated client-side processing is
+// charged through this model so system experiments account for real-time
+// constraints exactly as the paper does.
+package device
+
+import (
+	"math"
+
+	"nerve/internal/video"
+)
+
+// Model is a mobile device cost model. All latencies are in seconds.
+type Model struct {
+	Name string
+
+	// decodeMS maps ladder rungs to hardware decode latency (ms).
+	decodeMS [5]float64
+
+	// InferenceSec is the neural recovery/SR inference latency per frame
+	// (the paper: 22 ms for both models, any resolution, FP16 + custom
+	// Metal grid-sample).
+	InferenceSec float64
+
+	// OptimisedGFLOPS is the effective throughput of a mobile-optimised
+	// model (ours: 10.8 GFLOPs in 22 ms ≈ 490 GFLOP/s).
+	OptimisedGFLOPS float64
+	// BaselineGFLOPS is the effective throughput of an unoptimised
+	// research model on the same device (Table 1 baselines average
+	// ≈ 20 GFLOP/s: RLSP 132.94 G in 5 s, BasicVSR 71.33 G in 3.5 s).
+	BaselineGFLOPS float64
+
+	// Warp latency anchors (paper §7: 29 ms at 1080p, 5 ms at 270p).
+	warp1080Sec float64
+	warp270Sec  float64
+
+	// CPU utilisation anchors (§8.4): base streaming, 20% frames
+	// enhanced, 100% frames enhanced.
+	cpuBase, cpu20, cpu100 float64
+	// Energy per frame anchors (J).
+	energyBase, energy20, energy100 float64
+	// BatteryJ is the usable battery energy (J), calibrated so that the
+	// paper's 13.2 h → 7.5 h battery projection reproduces.
+	BatteryJ float64
+}
+
+// IPhone12 returns the calibrated iPhone 12 model.
+func IPhone12() *Model {
+	return &Model{
+		Name:            "iPhone 12",
+		decodeMS:        [5]float64{1.8, 2.3, 2.9, 4.1, 6.2},
+		InferenceSec:    0.022,
+		OptimisedGFLOPS: 10.8 / 0.022,
+		BaselineGFLOPS:  22.0,
+		warp1080Sec:     0.029,
+		warp270Sec:      0.005,
+		cpuBase:         0.28, cpu20: 0.37, cpu100: 0.68,
+		energyBase: 0.04, energy20: 0.05, energy100: 0.07,
+		BatteryJ: 0.04 * 30 * 13.2 * 3600, // ≈ 57 kJ
+	}
+}
+
+// DecodeLatency returns the hardware decode time for one frame at the rung.
+func (m *Model) DecodeLatency(r video.Resolution) float64 {
+	return m.decodeMS[r.Index()] / 1000
+}
+
+// EnhanceLatency returns the per-frame neural enhancement (SR) latency.
+func (m *Model) EnhanceLatency() float64 { return m.InferenceSec }
+
+// RecoveryLatency returns the per-frame neural recovery latency (the paper:
+// same model family, identical inference time).
+func (m *Model) RecoveryLatency() float64 { return m.InferenceSec }
+
+// TotalFrameLatency is decode plus enhancement — the §8.4 end-to-end
+// number that must stay under 33 ms for 30 FPS.
+func (m *Model) TotalFrameLatency(r video.Resolution) float64 {
+	return m.DecodeLatency(r) + m.InferenceSec
+}
+
+// SupportsRealtime reports whether the rung meets the 30 FPS budget.
+func (m *Model) SupportsRealtime(r video.Resolution) bool {
+	return m.TotalFrameLatency(r) <= 1.0/30
+}
+
+// ModelLatency estimates the per-frame latency of an SR model from its
+// FLOPs. Mobile-optimised models (small feature maps, FP16, fused warp) run
+// at OptimisedGFLOPS; research baselines at BaselineGFLOPS.
+func (m *Model) ModelLatency(flopsG float64, optimised bool) float64 {
+	if flopsG <= 0 {
+		return 0.001
+	}
+	tput := m.BaselineGFLOPS
+	if optimised {
+		tput = m.OptimisedGFLOPS
+	}
+	return flopsG / tput
+}
+
+// WarpLatency returns the grid-sample warp time for a frame with the given
+// pixel count, interpolating between the paper's 270p and 1080p anchors.
+func (m *Model) WarpLatency(w, h int) float64 {
+	px := float64(w * h)
+	const px270 = 480.0 * 270
+	const px1080 = 1920.0 * 1080
+	if px <= px270 {
+		return m.warp270Sec * px / px270
+	}
+	f := (px - px270) / (px1080 - px270)
+	return m.warp270Sec + f*(m.warp1080Sec-m.warp270Sec)
+}
+
+// CPUUtilisation returns the expected CPU fraction when enhancedFrac of
+// frames go through neural recovery/enhancement (piecewise-linear through
+// the paper's 0%/20%/100% anchors).
+func (m *Model) CPUUtilisation(enhancedFrac float64) float64 {
+	return interpAnchors(enhancedFrac, m.cpuBase, m.cpu20, m.cpu100)
+}
+
+// EnergyPerFrame returns Joules per frame at the given enhanced fraction.
+func (m *Model) EnergyPerFrame(enhancedFrac float64) float64 {
+	return interpAnchors(enhancedFrac, m.energyBase, m.energy20, m.energy100)
+}
+
+// BatteryHours projects battery life at 30 FPS playback with the given
+// enhanced fraction.
+func (m *Model) BatteryHours(enhancedFrac float64) float64 {
+	e := m.EnergyPerFrame(enhancedFrac)
+	return m.BatteryJ / (e * video.FPS) / 3600
+}
+
+func interpAnchors(f, v0, v20, v100 float64) float64 {
+	f = math.Max(0, math.Min(1, f))
+	if f <= 0.2 {
+		return v0 + (f/0.2)*(v20-v0)
+	}
+	return v20 + (f-0.2)/0.8*(v100-v20)
+}

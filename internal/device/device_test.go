@@ -1,0 +1,119 @@
+package device
+
+import (
+	"math"
+	"testing"
+
+	"nerve/internal/video"
+)
+
+func TestDecodeLatencies(t *testing.T) {
+	m := IPhone12()
+	want := map[video.Resolution]float64{
+		video.R240: 0.0018, video.R360: 0.0023, video.R480: 0.0029,
+		video.R720: 0.0041, video.R1080: 0.0062,
+	}
+	for r, w := range want {
+		if got := m.DecodeLatency(r); math.Abs(got-w) > 1e-9 {
+			t.Errorf("%v decode %v want %v", r, got, w)
+		}
+	}
+}
+
+func TestRealtimeBudget(t *testing.T) {
+	m := IPhone12()
+	for _, r := range video.Resolutions() {
+		total := m.TotalFrameLatency(r)
+		if total > 0.033 {
+			t.Errorf("%v total %v exceeds 33 ms", r, total)
+		}
+		if !m.SupportsRealtime(r) {
+			t.Errorf("%v not real-time", r)
+		}
+	}
+	// 1080p: 6.2 + 22 = 28.2 ms, as in §8.4.
+	if got := m.TotalFrameLatency(video.R1080); math.Abs(got-0.0282) > 1e-9 {
+		t.Errorf("1080p total %v want 28.2 ms", got)
+	}
+}
+
+func TestModelLatencyTable1(t *testing.T) {
+	m := IPhone12()
+	// Ours: 10.8 GFLOPs optimised → 22 ms.
+	if got := m.ModelLatency(10.8, true); math.Abs(got-0.022) > 1e-6 {
+		t.Errorf("ours latency %v want 22 ms", got)
+	}
+	// RLSP: 132.94 GFLOPs unoptimised → seconds (paper: 5000 ms).
+	rlsp := m.ModelLatency(132.94, false)
+	if rlsp < 3 || rlsp > 8 {
+		t.Errorf("RLSP latency %v want ≈5-6 s", rlsp)
+	}
+	// Ordering: ours ≪ CKBG < BasicVSR < RLSP.
+	ck := m.ModelLatency(17.8, false)
+	bv := m.ModelLatency(71.33, false)
+	if !(0.022 < ck && ck < bv && bv < rlsp) {
+		t.Errorf("latency ordering wrong: ours=22ms ckbg=%v basicvsr=%v rlsp=%v", ck, bv, rlsp)
+	}
+	if m.ModelLatency(0, true) <= 0 {
+		t.Error("zero-FLOP latency must stay positive")
+	}
+}
+
+func TestWarpLatencyAnchors(t *testing.T) {
+	m := IPhone12()
+	if got := m.WarpLatency(480, 270); math.Abs(got-0.005) > 1e-9 {
+		t.Errorf("270p warp %v want 5 ms", got)
+	}
+	if got := m.WarpLatency(1920, 1080); math.Abs(got-0.029) > 1e-9 {
+		t.Errorf("1080p warp %v want 29 ms", got)
+	}
+	mid := m.WarpLatency(1280, 720)
+	if mid <= 0.005 || mid >= 0.029 {
+		t.Errorf("720p warp %v not between anchors", mid)
+	}
+	if small := m.WarpLatency(128, 64); small <= 0 || small >= 0.005 {
+		t.Errorf("tiny warp %v", small)
+	}
+}
+
+func TestCPUAndEnergyAnchors(t *testing.T) {
+	m := IPhone12()
+	cases := []struct {
+		frac        float64
+		cpu, energy float64
+	}{
+		{0, 0.28, 0.04}, {0.2, 0.37, 0.05}, {1, 0.68, 0.07},
+	}
+	for _, c := range cases {
+		if got := m.CPUUtilisation(c.frac); math.Abs(got-c.cpu) > 1e-9 {
+			t.Errorf("CPU(%v)=%v want %v", c.frac, got, c.cpu)
+		}
+		if got := m.EnergyPerFrame(c.frac); math.Abs(got-c.energy) > 1e-9 {
+			t.Errorf("Energy(%v)=%v want %v", c.frac, got, c.energy)
+		}
+	}
+	// Monotone.
+	prev := -1.0
+	for f := 0.0; f <= 1.0; f += 0.1 {
+		c := m.CPUUtilisation(f)
+		if c < prev {
+			t.Fatalf("CPU not monotone at %v", f)
+		}
+		prev = c
+	}
+	// Clamping.
+	if m.CPUUtilisation(-1) != 0.28 || m.CPUUtilisation(2) != 0.68 {
+		t.Error("clamping failed")
+	}
+}
+
+func TestBatteryProjection(t *testing.T) {
+	m := IPhone12()
+	// §8.4: 13.2 h without enhancement, 7.5 h with every frame enhanced.
+	if got := m.BatteryHours(0); math.Abs(got-13.2) > 0.1 {
+		t.Errorf("battery(0)=%v want 13.2 h", got)
+	}
+	if got := m.BatteryHours(1); math.Abs(got-7.5) > 0.2 {
+		t.Errorf("battery(1)=%v want ≈7.5 h", got)
+	}
+}

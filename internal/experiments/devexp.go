@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+
+	"nerve/internal/device"
+	"nerve/internal/video"
+)
+
+// Latency reproduces the §8.4 latency analysis: per-resolution decode time,
+// the fixed neural enhancement/recovery inference time, and the end-to-end
+// total against the 30 FPS budget.
+func Latency(opts Options) *Table {
+	dev := device.IPhone12()
+	t := &Table{
+		ID:     "latency",
+		Title:  "System latency on the iPhone 12 model (§8.4)",
+		Header: []string{"resolution", "decode(ms)", "inference(ms)", "total(ms)", "30fps"},
+		Notes:  []string{"shape: total < 33 ms at every rung (real-time)"},
+	}
+	for _, r := range video.Resolutions() {
+		total := dev.TotalFrameLatency(r)
+		ok := "yes"
+		if !dev.SupportsRealtime(r) {
+			ok = "NO"
+		}
+		t.AddRow(r.String(),
+			fmt.Sprintf("%.1f", dev.DecodeLatency(r)*1000),
+			fmt.Sprintf("%.1f", dev.EnhanceLatency()*1000),
+			fmt.Sprintf("%.1f", total*1000),
+			ok)
+	}
+	t.AddRow("warp(270p)", "-", fmt.Sprintf("%.1f", dev.WarpLatency(480, 270)*1000), "-", "-")
+	t.AddRow("warp(1080p)", "-", fmt.Sprintf("%.1f", dev.WarpLatency(1920, 1080)*1000), "-", "-")
+	return t
+}
+
+// CPUEnergy reproduces the §8.4 CPU/energy table: utilisation, energy per
+// frame and projected battery life at 0%, 20% and 100% of frames enhanced.
+func CPUEnergy(opts Options) *Table {
+	dev := device.IPhone12()
+	t := &Table{
+		ID:     "cpu",
+		Title:  "CPU utilisation and energy (§8.4)",
+		Header: []string{"frames enhanced", "CPU %", "J/frame", "battery (h)"},
+		Notes:  []string{"anchors: 28%/0.04 J → 37%/0.05 J → 68%/0.07 J; battery 13.2 h → 7.5 h"},
+	}
+	for _, frac := range []float64{0, 0.2, 1.0} {
+		t.AddRow(fmt.Sprintf("%.0f%%", frac*100),
+			fmt.Sprintf("%.0f", dev.CPUUtilisation(frac)*100),
+			fmt.Sprintf("%.3f", dev.EnergyPerFrame(frac)),
+			fmt.Sprintf("%.1f", dev.BatteryHours(frac)))
+	}
+	return t
+}

@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"fmt"
+
+	"nerve/internal/fec"
+	"nerve/internal/netem"
+	"nerve/internal/sim"
+	"nerve/internal/trace"
+)
+
+// fig1LossRates are the packet loss rates of Fig. 1 (1%, 3%, 5%).
+var fig1LossRates = []float64{0.01, 0.03, 0.05}
+
+// redundancyGrid returns the Fig. 1/2 redundancy sweep.
+func redundancyGrid(opts Options) []float64 {
+	if opts.Quick {
+		return []float64{0, 0.1, 0.2, 0.3, 0.4, 0.6}
+	}
+	return []float64{0, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.5, 0.6}
+}
+
+// Fig1 measures the frame loss rate under bursty (Gilbert–Elliott) packet
+// loss as a function of FEC redundancy, for 1/3/5% loss — the motivation
+// experiment showing FEC needs ≈5× the loss rate.
+func Fig1(opts Options) *Series {
+	reds := redundancyGrid(opts)
+	framesPerTrial := 4000
+	if opts.Quick {
+		framesPerTrial = 800
+	}
+	const pktsPerFrame = 10
+
+	s := &Series{
+		ID: "fig1", Title: "Frame loss rate vs FEC redundancy",
+		XLabel: "redundancy",
+		X:      reds,
+		Notes: []string{
+			"losses follow a Gilbert–Elliott burst process (the regime where RS FEC needs ≈5× the loss rate)",
+		},
+	}
+	for li, loss := range fig1LossRates {
+		s.Columns = append(s.Columns, fmt.Sprintf("%.0f%%", loss*100))
+		var row []float64
+		for _, red := range reds {
+			ge := netem.NewGilbertElliott(opts.Seed + int64(li*1000))
+			// Streaming FEC interleaves packets, which shortens the
+			// effective burst length the per-frame block sees.
+			ge.Recover = 0.6
+			parity := fec.ParityCount(pktsPerFrame, red)
+			lostFrames := 0
+			for f := 0; f < framesPerTrial; f++ {
+				lost := 0
+				for p := 0; p < pktsPerFrame+parity; p++ {
+					if ge.Drop(0, loss) {
+						lost++
+					}
+				}
+				if lost > parity {
+					lostFrames++
+				}
+			}
+			row = append(row, float64(lostFrames)/float64(framesPerTrial))
+		}
+		s.Y = append(s.Y, row)
+	}
+	return s
+}
+
+// lossyTrace returns the downscaled trace used by the FEC QoE experiments,
+// with LossScale chosen so the average loss matches `loss`.
+func lossyTrace(seed int64, loss float64) (*trace.Trace, float64) {
+	tr := trace.Generate(trace.Net4G, 240, seed).Downscale(1.5e6, 0.3e6, 5e6)
+	scale := loss / tr.Stat().AvgLossRate
+	return tr, scale
+}
+
+// motivationTrace is the Fig. 2 setting: ample, stable bandwidth so packet
+// loss — not lateness — dominates, as in the paper's motivation experiment.
+func motivationTrace(seed int64, loss float64) (*trace.Trace, float64) {
+	tr := trace.Generate(trace.NetWiFi, 240, seed).Downscale(3.5e6, 1e6, 6e6)
+	scale := loss / tr.Stat().AvgLossRate
+	return tr, scale
+}
+
+// Fig2 measures session QoE versus FEC redundancy, with and without the
+// recovery model, for 1/3/5% loss.
+func Fig2(opts Options) *Series {
+	reds := redundancyGrid(opts)
+	seeds := int64(4)
+	if opts.Quick {
+		seeds = 2
+	}
+	set := sim.NewSchemeSet()
+	set.UseFEC = true
+
+	s := &Series{
+		ID: "fig2", Title: "QoE vs FEC redundancy, with/without recovery",
+		XLabel: "redundancy",
+		X:      reds,
+		Notes: []string{
+			"shape: QoE rises once redundancy covers the loss; recovery (RC) curves dominate and need less FEC",
+		},
+	}
+	for _, loss := range fig1LossRates {
+		for _, rc := range []bool{false, true} {
+			label := fmt.Sprintf("%.0f%%", loss*100)
+			if rc {
+				label += " & RC"
+			}
+			s.Columns = append(s.Columns, label)
+			var row []float64
+			for _, red := range reds {
+				var q float64
+				for sd := int64(0); sd < seeds; sd++ {
+					tr, scale := motivationTrace(opts.Seed+100+sd, loss)
+					scheme := set.WithoutRecovery()
+					if rc {
+						scheme = set.RecoveryAlone()
+					}
+					scheme.UseFEC = true
+					scheme.Planner = fec.NewPlannerFromTable(map[float64]float64{0: red})
+					cfg := sim.Config{Trace: tr, Seed: opts.Seed + 200 + sd, LossScale: scale, Chunks: chunksFor(opts)}
+					q += sim.Run(cfg, scheme).QoE
+				}
+				row = append(row, q/float64(seeds))
+			}
+			s.Y = append(s.Y, row)
+		}
+	}
+	return s
+}
+
+// Fig16 compares the joint FEC+recovery optimisation against the ablations
+// under lossy conditions: w/o FEC (full system, FEC off), w/o RC, RC alone,
+// and the full system — each non-"w/o FEC" scheme using its own jointly
+// optimised FEC table (§4).
+func Fig16(opts Options) *Table {
+	lossScale := 6.0
+	seeds := int64(4)
+	chunks := chunksFor(opts)
+	if opts.Quick {
+		seeds = 2
+	}
+
+	// Build per-scheme joint planners (separate lookup tables per §8.3).
+	build := func(mk func(sim.SchemeSet) sim.Scheme) *fec.Planner {
+		losses := []float64{0.01, 0.05, 0.1}
+		reds := []float64{0, 0.1, 0.25, 0.5}
+		p, err := fec.BuildPlanner(losses, reds, func(loss, red float64) float64 {
+			set := sim.NewSchemeSet()
+			set.UseFEC = true
+			sc := mk(set)
+			sc.UseFEC = true
+			sc.Planner = fec.NewPlannerFromTable(map[float64]float64{0: red})
+			tr, scale := lossyTrace(opts.Seed+777, loss)
+			return sim.Run(sim.Config{Trace: tr, Seed: opts.Seed + 888, LossScale: scale, Chunks: chunks / 2}, sc).QoE
+		})
+		if err != nil {
+			panic(err)
+		}
+		return p
+	}
+
+	type entry struct {
+		name string
+		mk   func(sim.SchemeSet) sim.Scheme
+		fec  bool
+	}
+	entries := []entry{
+		{"w/o FEC", func(s sim.SchemeSet) sim.Scheme { return s.Full() }, false},
+		{"w/o RC", func(s sim.SchemeSet) sim.Scheme { return s.WithoutRecoveryReuse() }, true},
+		{"RC alone", func(s sim.SchemeSet) sim.Scheme { return s.RecoveryAlone() }, true},
+		{"our", func(s sim.SchemeSet) sim.Scheme { return s.Full() }, true},
+	}
+
+	t := &Table{
+		ID:     "fig16",
+		Title:  "QoE with jointly optimised FEC under lossy networks",
+		Header: []string{"scheme", "3G", "4G", "5G", "WiFi"},
+		Notes:  []string{"shape: our (joint FEC+recovery) highest; each scheme uses its own loss→FEC table (§4)"},
+	}
+	for _, e := range entries {
+		var planner *fec.Planner
+		if e.fec {
+			planner = build(e.mk)
+		}
+		row := []string{e.name}
+		for _, nt := range trace.NetworkTypes() {
+			var q float64
+			for sd := int64(0); sd < seeds; sd++ {
+				tr := trace.Generate(nt, 240, opts.Seed+300+sd).Downscale(1.5e6, 0.3e6, 5e6)
+				set := sim.NewSchemeSet()
+				set.UseFEC = e.fec
+				sc := e.mk(set)
+				sc.UseFEC = e.fec
+				sc.Planner = planner
+				cfg := sim.Config{Trace: tr, Seed: opts.Seed + 400 + sd, LossScale: lossScale, Chunks: chunks}
+				q += sim.Run(cfg, sc).QoE
+			}
+			row = append(row, fmt.Sprintf("%.3f", q/float64(seeds)))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// chunksFor returns the per-session chunk count.
+func chunksFor(opts Options) int {
+	if opts.Quick {
+		return 30
+	}
+	return 60
+}

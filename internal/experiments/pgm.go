@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"nerve/internal/vmath"
+)
+
+// WritePGM writes a plane as a binary PGM (P5) image, clamping to [0,255].
+// Used by the visualisation experiments (Figs. 6, 9, 11).
+func WritePGM(path string, p *vmath.Plane) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := fmt.Fprintf(f, "P5\n%d %d\n255\n", p.W, p.H); err != nil {
+		return err
+	}
+	buf := make([]byte, len(p.Pix))
+	for i, v := range p.Pix {
+		if v < 0 {
+			v = 0
+		} else if v > 255 {
+			v = 255
+		}
+		buf[i] = byte(v + 0.5)
+	}
+	_, err = f.Write(buf)
+	return err
+}
+
+// writeArtefact writes a PGM under opts.OutDir (creating it) and returns
+// the path; with no OutDir it is a no-op returning "".
+func writeArtefact(opts Options, name string, p *vmath.Plane) (string, error) {
+	if opts.OutDir == "" {
+		return "", nil
+	}
+	if err := os.MkdirAll(opts.OutDir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(opts.OutDir, name)
+	if err := WritePGM(path, p); err != nil {
+		return "", err
+	}
+	return path, nil
+}

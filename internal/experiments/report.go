@@ -1,0 +1,113 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md §3 for the experiment index). Each harness
+// returns structured results — a Table for tabular data or a Series for
+// figure curves — that the nervebench command renders; bench_test.go wires
+// one benchmark per experiment.
+//
+// Every harness accepts Options; Quick mode shrinks the workload so the
+// whole suite runs in CI-scale time while preserving each result's shape.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Options configures a harness run.
+type Options struct {
+	// Quick shrinks workloads (smaller frames, fewer seeds/chunks) for
+	// tests; full-size runs reproduce the paper-scale setup.
+	Quick bool
+	// Seed drives all randomness.
+	Seed int64
+	// OutDir receives visualisation artefacts (PGM images); empty
+	// disables writing.
+	OutDir string
+}
+
+// Table is a titled rows×columns result.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	// Notes document shape expectations and substitutions.
+	Notes []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Fprint renders the table as aligned text.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			pad := 0
+			if i < len(widths) {
+				pad = widths[i] - len(c)
+			}
+			parts[i] = c + strings.Repeat(" ", pad)
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	printRow(t.Header)
+	for _, row := range t.Rows {
+		printRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// Series is figure data: one X axis and one or more named Y columns.
+type Series struct {
+	ID      string
+	Title   string
+	XLabel  string
+	Columns []string
+	X       []float64
+	Y       [][]float64 // Y[i][j] = column i at X[j]
+	Notes   []string
+}
+
+// Fprint renders the series as a text table of curves.
+func (s *Series) Fprint(w io.Writer) {
+	t := Table{ID: s.ID, Title: s.Title, Header: append([]string{s.XLabel}, s.Columns...), Notes: s.Notes}
+	for j := range s.X {
+		row := []string{fmt.Sprintf("%.3g", s.X[j])}
+		for i := range s.Columns {
+			v := ""
+			if i < len(s.Y) && j < len(s.Y[i]) {
+				v = fmt.Sprintf("%.4g", s.Y[i][j])
+			}
+			row = append(row, v)
+		}
+		t.AddRow(row...)
+	}
+	t.Fprint(w)
+}
+
+// Col returns the index of a named column, or -1.
+func (s *Series) Col(name string) int {
+	for i, c := range s.Columns {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}

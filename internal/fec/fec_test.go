@@ -1,0 +1,401 @@
+package fec
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGFMulDivInverse(t *testing.T) {
+	for a := 1; a < 256; a++ {
+		inv := gfInv(byte(a))
+		if got := gfMul(byte(a), inv); got != 1 {
+			t.Fatalf("a=%d a*inv=%d", a, got)
+		}
+	}
+	if gfMul(0, 17) != 0 || gfMul(17, 0) != 0 {
+		t.Fatal("mul by zero")
+	}
+	if gfMul(1, 200) != 200 {
+		t.Fatal("mul by one")
+	}
+}
+
+func TestGFMulProperties(t *testing.T) {
+	f := func(a, b, c byte) bool {
+		// Commutative, associative, distributive over XOR.
+		if gfMul(a, b) != gfMul(b, a) {
+			return false
+		}
+		if gfMul(a, gfMul(b, c)) != gfMul(gfMul(a, b), c) {
+			return false
+		}
+		return gfMul(a, b^c) == gfMul(a, b)^gfMul(a, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGFPow(t *testing.T) {
+	if gfPow(5, 0) != 1 {
+		t.Fatal("x^0")
+	}
+	if gfPow(0, 3) != 0 {
+		t.Fatal("0^n")
+	}
+	want := gfMul(7, gfMul(7, 7))
+	if gfPow(7, 3) != want {
+		t.Fatalf("7^3=%d want %d", gfPow(7, 3), want)
+	}
+}
+
+func TestMatInvertIdentity(t *testing.T) {
+	m := [][]byte{{1, 0}, {0, 1}}
+	if !matInvert(m) {
+		t.Fatal("identity not invertible?")
+	}
+	if m[0][0] != 1 || m[0][1] != 0 || m[1][0] != 0 || m[1][1] != 1 {
+		t.Fatalf("bad inverse %v", m)
+	}
+}
+
+func TestMatInvertSingular(t *testing.T) {
+	m := [][]byte{{1, 1}, {1, 1}}
+	if matInvert(m) {
+		t.Fatal("singular matrix reported invertible")
+	}
+}
+
+func randShards(rng *rand.Rand, k, size int) [][]byte {
+	out := make([][]byte, k)
+	for i := range out {
+		out[i] = make([]byte, size)
+		rng.Read(out[i])
+	}
+	return out
+}
+
+func TestRSRoundTripAllErasurePatterns(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	rs, err := NewReedSolomon(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := randShards(rng, 4, 64)
+	encoded, err := rs.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every pattern with ≤2 erasures must reconstruct.
+	n := 6
+	for mask := 0; mask < 1<<n; mask++ {
+		erased := 0
+		for i := 0; i < n; i++ {
+			if mask>>i&1 == 1 {
+				erased++
+			}
+		}
+		if erased > 2 {
+			continue
+		}
+		shards := make([][]byte, n)
+		for i := 0; i < n; i++ {
+			if mask>>i&1 == 0 {
+				shards[i] = encoded[i]
+			}
+		}
+		if err := rs.Reconstruct(shards); err != nil {
+			t.Fatalf("mask %06b: %v", mask, err)
+		}
+		for i := 0; i < 4; i++ {
+			if !bytes.Equal(shards[i], data[i]) {
+				t.Fatalf("mask %06b: shard %d mismatch", mask, i)
+			}
+		}
+	}
+}
+
+func TestRSFailsWithTooFewShards(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	rs, _ := NewReedSolomon(3, 2)
+	encoded, _ := rs.Encode(randShards(rng, 3, 16))
+	shards := make([][]byte, 5)
+	shards[0] = encoded[0]
+	shards[4] = encoded[4]
+	if err := rs.Reconstruct(shards); err == nil {
+		t.Fatal("reconstruct with 2 of 3 needed shards must fail")
+	}
+}
+
+func TestRSParamValidation(t *testing.T) {
+	if _, err := NewReedSolomon(0, 1); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := NewReedSolomon(200, 100); err == nil {
+		t.Fatal("k+m>255 accepted")
+	}
+	rs, _ := NewReedSolomon(2, 1)
+	if _, err := rs.Encode(randShards(rand.New(rand.NewSource(3)), 3, 8)); err == nil {
+		t.Fatal("wrong shard count accepted")
+	}
+	if _, err := rs.Encode([][]byte{make([]byte, 4), make([]byte, 5)}); err == nil {
+		t.Fatal("uneven shard sizes accepted")
+	}
+}
+
+func TestRSLargerCode(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	rs, err := NewReedSolomon(20, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := randShards(rng, 20, 128)
+	encoded, _ := rs.Encode(data)
+	// Drop 8 random shards.
+	shards := make([][]byte, 28)
+	copy(shards, encoded)
+	perm := rng.Perm(28)
+	for _, i := range perm[:8] {
+		shards[i] = nil
+	}
+	if err := rs.Reconstruct(shards); err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if !bytes.Equal(shards[i], data[i]) {
+			t.Fatalf("shard %d mismatch", i)
+		}
+	}
+}
+
+func TestXORSingleLossPerGroup(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x, err := NewXORInterleaved(6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := randShards(rng, 6, 32)
+	encoded, _ := x.Encode(data)
+	// Lose shard 0 (group 0) and shard 3 (group 1): both recoverable.
+	shards := make([][]byte, 8)
+	copy(shards, encoded)
+	shards[0], shards[3] = nil, nil
+	if err := x.Reconstruct(shards); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(shards[0], data[0]) || !bytes.Equal(shards[3], data[3]) {
+		t.Fatal("XOR reconstruction wrong")
+	}
+}
+
+func TestXORDoubleLossSameGroupFails(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	x, _ := NewXORInterleaved(6, 2)
+	encoded, _ := x.Encode(randShards(rng, 6, 32))
+	shards := make([][]byte, 8)
+	copy(shards, encoded)
+	shards[0], shards[2] = nil, nil // both group 0
+	if err := x.Reconstruct(shards); err == nil {
+		t.Fatal("double loss in one group must fail")
+	}
+}
+
+func TestParityCount(t *testing.T) {
+	if ParityCount(10, 0) != 0 {
+		t.Fatal("zero redundancy")
+	}
+	if got := ParityCount(10, 0.25); got != 3 {
+		t.Fatalf("ParityCount(10,0.25)=%d", got)
+	}
+	if got := ParityCount(10, 0.01); got != 1 {
+		t.Fatalf("tiny redundancy should still give 1 parity, got %d", got)
+	}
+	if got := ParityCount(250, 0.5); got != 5 {
+		t.Fatalf("cap at 255 total: got %d", got)
+	}
+}
+
+func TestProtectRecoverRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	packets := [][]byte{
+		make([]byte, 100), make([]byte, 80), make([]byte, 120), make([]byte, 60),
+	}
+	for _, p := range packets {
+		rng.Read(p)
+	}
+	for _, kind := range []Kind{KindReedSolomon, KindXOR} {
+		prot, err := Protect(packets, 0.5, kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prot.M == 0 {
+			t.Fatalf("%v: no parity added", kind)
+		}
+		received := make([]bool, prot.K+prot.M)
+		for i := range received {
+			received[i] = true
+		}
+		received[1] = false // one loss: both schemes recover
+		got, ok := prot.Recover(received)
+		if !ok {
+			t.Fatalf("%v: recovery failed", kind)
+		}
+		for i := range packets {
+			if !bytes.Equal(got[i], packets[i]) {
+				t.Fatalf("%v: packet %d mismatch", kind, i)
+			}
+		}
+	}
+}
+
+func TestProtectZeroRedundancyPassThrough(t *testing.T) {
+	packets := [][]byte{{1, 2, 3}, {4, 5}}
+	prot, err := Protect(packets, 0, KindReedSolomon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prot.M != 0 {
+		t.Fatal("parity with zero redundancy")
+	}
+	got, ok := prot.Recover([]bool{true, true})
+	if !ok || !bytes.Equal(got[0], packets[0]) || !bytes.Equal(got[1], packets[1]) {
+		t.Fatal("pass-through recover failed")
+	}
+	if _, ok := prot.Recover([]bool{true, false}); ok {
+		t.Fatal("loss without parity must not report complete")
+	}
+}
+
+func TestProtectPartialRecovery(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	packets := randShards(rng, 6, 50)
+	prot, _ := Protect(packets, 1.0/6, KindReedSolomon) // 1 parity
+	received := make([]bool, prot.K+prot.M)
+	for i := range received {
+		received[i] = true
+	}
+	received[0], received[1] = false, false // 2 losses, 1 parity: fail
+	got, ok := prot.Recover(received)
+	if ok {
+		t.Fatal("should not fully recover")
+	}
+	// The received packets must still be returned.
+	for i := 2; i < 6; i++ {
+		if !bytes.Equal(got[i], packets[i]) {
+			t.Fatalf("received packet %d not returned", i)
+		}
+	}
+	if got[0] != nil || got[1] != nil {
+		t.Fatal("lost packets must be nil")
+	}
+}
+
+func TestPlannerLookup(t *testing.T) {
+	p := NewPlannerFromTable(map[float64]float64{0.01: 0.05, 0.05: 0.25, 0.10: 0.5})
+	if got := p.Redundancy(0.001); got != 0.05 {
+		t.Fatalf("below range: %v", got)
+	}
+	if got := p.Redundancy(0.2); got != 0.5 {
+		t.Fatalf("above range: %v", got)
+	}
+	if got := p.Redundancy(0.05); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("exact: %v", got)
+	}
+	if got := p.Redundancy(0.03); math.Abs(got-0.15) > 1e-9 {
+		t.Fatalf("interpolated: %v", got)
+	}
+}
+
+func TestBuildPlannerPicksArgmax(t *testing.T) {
+	// QoE peaked at redundancy = 5·loss.
+	eval := func(loss, red float64) float64 {
+		return -math.Abs(red - 5*loss)
+	}
+	p, err := BuildPlanner([]float64{0.01, 0.03, 0.05}, []float64{0, 0.05, 0.15, 0.25, 0.35}, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Redundancy(0.01); got != 0.05 {
+		t.Fatalf("loss 1%%: %v", got)
+	}
+	if got := p.Redundancy(0.03); got != 0.15 {
+		t.Fatalf("loss 3%%: %v", got)
+	}
+	if got := p.Redundancy(0.05); got != 0.25 {
+		t.Fatalf("loss 5%%: %v", got)
+	}
+}
+
+func TestBuildPlannerValidation(t *testing.T) {
+	if _, err := BuildPlanner(nil, []float64{0.1}, func(a, b float64) float64 { return 0 }); err == nil {
+		t.Fatal("empty losses accepted")
+	}
+}
+
+func TestDefaultPlannerShape(t *testing.T) {
+	p := DefaultPlanner()
+	if got := p.Redundancy(0.01); math.Abs(got-0.05) > 1e-9 {
+		t.Fatalf("1%% loss → %v, want ≈0.05", got)
+	}
+	if got := p.Redundancy(0.5); got > 0.6+1e-9 {
+		t.Fatalf("cap exceeded: %v", got)
+	}
+	// Monotone non-decreasing.
+	prev := -1.0
+	for l := 0.0; l <= 0.15; l += 0.005 {
+		r := p.Redundancy(l)
+		if r < prev-1e-12 {
+			t.Fatalf("planner not monotone at %v", l)
+		}
+		prev = r
+	}
+}
+
+// Property: RS with random erasures up to m always reconstructs.
+func TestRSPropertyRandomErasures(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 2 + rng.Intn(10)
+		m := 1 + rng.Intn(6)
+		rs, err := NewReedSolomon(k, m)
+		if err != nil {
+			return false
+		}
+		data := randShards(rng, k, 24)
+		encoded, err := rs.Encode(data)
+		if err != nil {
+			return false
+		}
+		shards := make([][]byte, k+m)
+		copy(shards, encoded)
+		for _, i := range rng.Perm(k + m)[:m] {
+			shards[i] = nil
+		}
+		if err := rs.Reconstruct(shards); err != nil {
+			return false
+		}
+		for i := range data {
+			if !bytes.Equal(shards[i], data[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkRSEncode(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	rs, _ := NewReedSolomon(10, 3)
+	data := randShards(rng, 10, 1100)
+	b.SetBytes(int64(10 * 1100))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs.Encode(data)
+	}
+}

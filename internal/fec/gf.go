@@ -1,0 +1,131 @@
+// Package fec implements the forward-error-correction substrate: GF(2⁸)
+// arithmetic, a systematic Reed–Solomon erasure code (the workhorse of
+// streaming FEC), an interleaved XOR parity code, per-frame packet
+// protection, and the offline loss-rate→redundancy planner from §4 of the
+// paper ("Joint FEC and video recovery").
+package fec
+
+// GF(2⁸) with the AES/QR polynomial x⁸+x⁴+x³+x²+1 (0x11D).
+const gfPoly = 0x11D
+
+var (
+	gfExp [512]byte // generator powers, doubled to avoid mod in mul
+	gfLog [256]byte
+)
+
+func init() {
+	x := 1
+	for i := 0; i < 255; i++ {
+		gfExp[i] = byte(x)
+		gfLog[x] = byte(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= gfPoly
+		}
+	}
+	for i := 255; i < 512; i++ {
+		gfExp[i] = gfExp[i-255]
+	}
+}
+
+// gfMul multiplies two field elements.
+func gfMul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])+int(gfLog[b])]
+}
+
+// gfDiv divides a by b (b must be non-zero).
+func gfDiv(a, b byte) byte {
+	if b == 0 {
+		panic("fec: division by zero in GF(256)")
+	}
+	if a == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])+255-int(gfLog[b])]
+}
+
+// gfInv returns the multiplicative inverse of a (a must be non-zero).
+func gfInv(a byte) byte { return gfDiv(1, a) }
+
+// gfPow returns a**n.
+func gfPow(a byte, n int) byte {
+	if n == 0 {
+		return 1
+	}
+	if a == 0 {
+		return 0
+	}
+	l := (int(gfLog[a]) * n) % 255
+	if l < 0 {
+		l += 255
+	}
+	return gfExp[l]
+}
+
+// mulSliceAdd computes dst ^= c·src over GF(2⁸) element-wise.
+func mulSliceAdd(dst, src []byte, c byte) {
+	if c == 0 {
+		return
+	}
+	if c == 1 {
+		for i := range src {
+			dst[i] ^= src[i]
+		}
+		return
+	}
+	logC := int(gfLog[c])
+	for i, s := range src {
+		if s != 0 {
+			dst[i] ^= gfExp[logC+int(gfLog[s])]
+		}
+	}
+}
+
+// matInvert inverts an n×n GF(256) matrix in place using Gauss–Jordan
+// elimination. It returns false if the matrix is singular.
+func matInvert(m [][]byte) bool {
+	n := len(m)
+	// Augment with identity.
+	aug := make([][]byte, n)
+	for i := range aug {
+		aug[i] = make([]byte, 2*n)
+		copy(aug[i], m[i])
+		aug[i][n+i] = 1
+	}
+	for col := 0; col < n; col++ {
+		// Find pivot.
+		pivot := -1
+		for r := col; r < n; r++ {
+			if aug[r][col] != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return false
+		}
+		aug[col], aug[pivot] = aug[pivot], aug[col]
+		// Normalise pivot row.
+		inv := gfInv(aug[col][col])
+		for j := 0; j < 2*n; j++ {
+			aug[col][j] = gfMul(aug[col][j], inv)
+		}
+		// Eliminate other rows.
+		for r := 0; r < n; r++ {
+			if r == col || aug[r][col] == 0 {
+				continue
+			}
+			f := aug[r][col]
+			for j := 0; j < 2*n; j++ {
+				aug[r][j] ^= gfMul(f, aug[col][j])
+			}
+		}
+	}
+	for i := range m {
+		copy(m[i], aug[i][n:])
+	}
+	return true
+}

@@ -1,0 +1,7 @@
+package httpstream
+
+import "time"
+
+// timeNowNano returns the wall clock in nanoseconds; split out so tests can
+// stub timeNow without importing time themselves.
+func timeNowNano() int64 { return time.Now().UnixNano() }

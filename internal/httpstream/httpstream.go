@@ -1,0 +1,390 @@
+// Package httpstream puts the NERVE system behind real sockets: an
+// HTTP media server in the DASH style (manifest + per-chunk segments at
+// every ladder rung, plus the per-frame binary point codes as the reliable
+// side channel) and a client that fetches, decodes, recovers and reports
+// quality. The chunk simulator (internal/sim) answers the paper's QoE
+// questions; this package demonstrates the deployable server/client split
+// of Fig. 5 over net/http.
+package httpstream
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"nerve/internal/codec"
+	"nerve/internal/core"
+	"nerve/internal/edgecode"
+	"nerve/internal/video"
+	"nerve/internal/vmath"
+)
+
+// Manifest describes a stream to clients.
+type Manifest struct {
+	Width        int     `json:"w"`
+	Height       int     `json:"h"`
+	ChunkSeconds float64 `json:"chunkSeconds"`
+	Chunks       int     `json:"chunks"`
+	// RatesKbps lists the available rungs (index = rate parameter).
+	RatesKbps []int `json:"ratesKbps"`
+	FPS       int   `json:"fps"`
+}
+
+// ServerConfig parameterises NewServer.
+type ServerConfig struct {
+	// W, H is the transmission resolution.
+	W, H int
+	// ChunkSeconds is the segment duration (default 2 to keep demo
+	// encodes fast; the paper uses 4).
+	ChunkSeconds float64
+	// Chunks is the stream length in segments (default 4).
+	Chunks int
+	// Rates lists the offered bitrates in kbps (default a reduced ladder
+	// scaled to the transmission resolution).
+	Rates []int
+	// Source generates the content (default GamePlay seed 1).
+	Source *video.Generator
+}
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.ChunkSeconds <= 0 {
+		c.ChunkSeconds = 2
+	}
+	if c.Chunks <= 0 {
+		c.Chunks = 4
+	}
+	if len(c.Rates) == 0 {
+		c.Rates = []int{300, 800, 1500}
+	}
+	if c.Source == nil {
+		c.Source = video.NewGenerator(video.Categories()[3], 1)
+	}
+	return c
+}
+
+// Server is an http.Handler serving the stream. Segments are encoded
+// lazily on first request and cached; codes are extracted alongside.
+//
+// Endpoints:
+//
+//	GET /manifest                     → Manifest JSON
+//	GET /segment?rate=<i>&n=<j>       → concatenated wire frames of chunk j
+//	GET /codes?n=<j>                  → concatenated compressed codes of chunk j
+type Server struct {
+	cfg      ServerConfig
+	manifest Manifest
+
+	mu    sync.Mutex
+	segs  map[[2]int][]byte // (rate, chunk) → payload
+	codes map[int][]byte    // chunk → payload
+	encs  []*serverRate
+}
+
+type serverRate struct {
+	enc  *codec.Encoder
+	next int // next chunk to encode (chunks must be encoded in order)
+}
+
+// NewServer builds the HTTP media server.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.W <= 0 || cfg.H <= 0 {
+		return nil, fmt.Errorf("httpstream: invalid dimensions %dx%d", cfg.W, cfg.H)
+	}
+	s := &Server{
+		cfg: cfg,
+		manifest: Manifest{
+			Width: cfg.W, Height: cfg.H,
+			ChunkSeconds: cfg.ChunkSeconds,
+			Chunks:       cfg.Chunks,
+			RatesKbps:    cfg.Rates,
+			FPS:          video.FPS,
+		},
+		segs:  make(map[[2]int][]byte),
+		codes: make(map[int][]byte),
+	}
+	for _, kbps := range cfg.Rates {
+		s.encs = append(s.encs, &serverRate{
+			enc: codec.NewEncoder(codec.Config{
+				W: cfg.W, H: cfg.H,
+				GOP:           int(cfg.ChunkSeconds * video.FPS),
+				TargetBitrate: float64(kbps) * 1000,
+			}),
+		})
+	}
+	return s, nil
+}
+
+// Manifest returns the stream description.
+func (s *Server) Manifest() Manifest { return s.manifest }
+
+// framesPerChunk returns the frames per segment.
+func (s *Server) framesPerChunk() int {
+	return int(s.cfg.ChunkSeconds * video.FPS)
+}
+
+// segment returns (encoding on demand) the wire payload of one chunk at one
+// rate. Chunks encode in order per rate (P frames depend on history).
+func (s *Server) segment(rate, n int) ([]byte, error) {
+	if rate < 0 || rate >= len(s.encs) || n < 0 || n >= s.cfg.Chunks {
+		return nil, fmt.Errorf("httpstream: segment rate=%d n=%d out of range", rate, n)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b, ok := s.segs[[2]int{rate, n}]; ok {
+		return b, nil
+	}
+	sr := s.encs[rate]
+	fpc := s.framesPerChunk()
+	for sr.next <= n {
+		var payload []byte
+		for i := 0; i < fpc; i++ {
+			frame := s.cfg.Source.Render(sr.next*fpc+i, s.cfg.W, s.cfg.H)
+			ef := sr.enc.Encode(frame)
+			wire, err := ef.MarshalBinary()
+			if err != nil {
+				return nil, err
+			}
+			payload = binary.BigEndian.AppendUint32(payload, uint32(len(wire)))
+			payload = append(payload, wire...)
+		}
+		s.segs[[2]int{rate, sr.next}] = payload
+		sr.next++
+	}
+	return s.segs[[2]int{rate, n}], nil
+}
+
+// codesFor returns the compressed binary point codes of one chunk.
+func (s *Server) codesFor(n int) ([]byte, error) {
+	if n < 0 || n >= s.cfg.Chunks {
+		return nil, fmt.Errorf("httpstream: codes n=%d out of range", n)
+	}
+	s.mu.Lock()
+	if b, ok := s.codes[n]; ok {
+		s.mu.Unlock()
+		return b, nil
+	}
+	s.mu.Unlock()
+	// Codes are extracted statelessly from the source frames (the server
+	// side-channel path), independent of any rate's encoder state.
+	ext := edgecode.NewExtractor(0, 0)
+	ext.HistoryWeight = 0
+	fpc := s.framesPerChunk()
+	var payload []byte
+	for i := 0; i < fpc; i++ {
+		code := ext.Extract(s.cfg.Source.Render(n*fpc+i, s.cfg.W, s.cfg.H))
+		packed := code.Compress()
+		payload = binary.BigEndian.AppendUint32(payload, uint32(len(packed)))
+		payload = append(payload, packed...)
+	}
+	s.mu.Lock()
+	s.codes[n] = payload
+	s.mu.Unlock()
+	return payload, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/manifest":
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(s.manifest); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	case "/segment":
+		rate, err1 := strconv.Atoi(r.URL.Query().Get("rate"))
+		n, err2 := strconv.Atoi(r.URL.Query().Get("n"))
+		if err1 != nil || err2 != nil {
+			http.Error(w, "segment needs integer rate and n", http.StatusBadRequest)
+			return
+		}
+		b, err := s.segment(rate, n)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(b)
+	case "/codes":
+		n, err := strconv.Atoi(r.URL.Query().Get("n"))
+		if err != nil {
+			http.Error(w, "codes needs integer n", http.StatusBadRequest)
+			return
+		}
+		b, err := s.codesFor(n)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(b)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+// splitLengthPrefixed splits a payload of u32-length-prefixed records.
+func splitLengthPrefixed(b []byte) ([][]byte, error) {
+	var out [][]byte
+	for len(b) > 0 {
+		if len(b) < 4 {
+			return nil, fmt.Errorf("httpstream: truncated length prefix")
+		}
+		n := int(binary.BigEndian.Uint32(b))
+		b = b[4:]
+		if n < 0 || len(b) < n {
+			return nil, fmt.Errorf("httpstream: truncated record (%d bytes)", n)
+		}
+		out = append(out, b[:n])
+		b = b[n:]
+	}
+	return out, nil
+}
+
+// ChunkResult is the client's per-chunk report.
+type ChunkResult struct {
+	Chunk int
+	Rate  int
+	Bytes int
+	// FetchSeconds is the wall-clock time of the segment download
+	// (excluding decode/recovery), the ABR's throughput signal.
+	FetchSeconds float64
+	Frames       []*vmath.Plane
+}
+
+// Client streams from a Server URL, running the NERVE client engine.
+type Client struct {
+	base     string
+	http     *http.Client
+	manifest Manifest
+	engine   *core.Client
+}
+
+// NewClient fetches the manifest and prepares the engine. enableRecovery
+// wires the recovery model for lost segments.
+func NewClient(baseURL string, httpClient *http.Client, enableRecovery bool) (*Client, error) {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	c := &Client{base: baseURL, http: httpClient}
+	resp, err := httpClient.Get(baseURL + "/manifest")
+	if err != nil {
+		return nil, fmt.Errorf("httpstream: manifest: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("httpstream: manifest: %s", resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&c.manifest); err != nil {
+		return nil, fmt.Errorf("httpstream: manifest: %w", err)
+	}
+	c.engine, err = core.NewClient(core.ClientConfig{
+		W: c.manifest.Width, H: c.manifest.Height,
+		EnableRecovery: enableRecovery,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Manifest returns the fetched stream description.
+func (c *Client) Manifest() Manifest { return c.manifest }
+
+func (c *Client) fetch(path string) ([]byte, error) {
+	resp, err := c.http.Get(c.base + path)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("httpstream: GET %s: %s", path, resp.Status)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// PlayChunk downloads chunk n at the given rate (lost=true simulates a
+// media-path outage: only the side-channel codes arrive) and plays it
+// through the engine, returning the displayed frames.
+func (c *Client) PlayChunk(n, rate int, lost bool) (*ChunkResult, error) {
+	codesRaw, err := c.fetch(fmt.Sprintf("/codes?n=%d", n))
+	if err != nil {
+		return nil, err
+	}
+	codeRecs, err := splitLengthPrefixed(codesRaw)
+	if err != nil {
+		return nil, err
+	}
+	var frameRecs [][]byte
+	res := &ChunkResult{Chunk: n, Rate: rate}
+	if !lost {
+		start := timeNow()
+		segRaw, err := c.fetch(fmt.Sprintf("/segment?rate=%d&n=%d", rate, n))
+		if err != nil {
+			return nil, err
+		}
+		res.FetchSeconds = timeNow() - start
+		res.Bytes = len(segRaw)
+		frameRecs, err = splitLengthPrefixed(segRaw)
+		if err != nil {
+			return nil, err
+		}
+		if len(frameRecs) != len(codeRecs) {
+			return nil, fmt.Errorf("httpstream: %d frames vs %d codes", len(frameRecs), len(codeRecs))
+		}
+	}
+	for i := range codeRecs {
+		code, err := edgecode.Decompress(codeRecs[i])
+		if err != nil {
+			return nil, err
+		}
+		in := core.Input{Code: code}
+		if !lost {
+			var ef codec.EncodedFrame
+			if err := ef.UnmarshalBinary(frameRecs[i]); err != nil {
+				return nil, err
+			}
+			in.Encoded = &ef
+		}
+		fr, err := c.engine.Next(in)
+		if err != nil {
+			return nil, err
+		}
+		res.Frames = append(res.Frames, fr.Frame)
+	}
+	return res, nil
+}
+
+// PlayAll streams the whole manifest adaptively: a throughput-based rate
+// pick from measured segment download times (wall clock), falling back to
+// the lowest rung until a measurement exists. It returns the per-chunk
+// results in order.
+func (c *Client) PlayAll() ([]*ChunkResult, error) {
+	var out []*ChunkResult
+	rate := 0
+	for n := 0; n < c.manifest.Chunks; n++ {
+		res, err := c.PlayChunk(n, rate, false)
+		if err != nil {
+			return out, err
+		}
+		if res.FetchSeconds > 0 && res.Bytes > 0 {
+			bps := float64(res.Bytes) * 8 / res.FetchSeconds
+			// Highest rung affordable at 80% of the measured rate.
+			rate = 0
+			for i, kbps := range c.manifest.RatesKbps {
+				if float64(kbps)*1000 <= 0.8*bps {
+					rate = i
+				}
+			}
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// timeNow is a wall-clock seconds hook (overridable in tests).
+var timeNow = func() float64 { return float64(timeNowNano()) / 1e9 }

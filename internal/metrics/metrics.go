@@ -1,0 +1,131 @@
+// Package metrics implements the video-quality metrics the paper reports:
+// PSNR (peak signal-to-noise ratio) and SSIM (structural similarity), both
+// computed on luma planes in the 8-bit range with peak value 255.
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"nerve/internal/vmath"
+)
+
+// Peak is the maximum pixel value assumed by PSNR and SSIM.
+const Peak = 255.0
+
+// PSNR returns the peak signal-to-noise ratio between a reference and a
+// distorted plane, in dB. Identical planes return +Inf.
+func PSNR(ref, dist *vmath.Plane) float64 {
+	mse := vmath.MSE(ref, dist)
+	if mse == 0 {
+		return math.Inf(1)
+	}
+	return 10 * math.Log10(Peak*Peak/mse)
+}
+
+// ssimConsts are the standard stabilising constants from Wang et al. 2004.
+var (
+	ssimC1 = (0.01 * Peak) * (0.01 * Peak)
+	ssimC2 = (0.03 * Peak) * (0.03 * Peak)
+)
+
+// SSIM returns the mean structural similarity index between ref and dist
+// using an 11-tap Gaussian window (sigma 1.5), the reference configuration
+// from the original SSIM paper. Values are in (-1, 1]; 1 means identical.
+func SSIM(ref, dist *vmath.Plane) float64 {
+	if ref.W != dist.W || ref.H != dist.H {
+		panic(fmt.Sprintf("metrics: SSIM size mismatch %dx%d vs %dx%d", ref.W, ref.H, dist.W, dist.H))
+	}
+	if ref.W == 0 || ref.H == 0 {
+		return 1
+	}
+	taps := gaussian11()
+	mu1 := vmath.ConvolveSeparable(ref, taps, taps)
+	mu2 := vmath.ConvolveSeparable(dist, taps, taps)
+
+	sq1 := mul(ref, ref)
+	sq2 := mul(dist, dist)
+	x12 := mul(ref, dist)
+
+	sigma1 := vmath.ConvolveSeparable(sq1, taps, taps)
+	sigma2 := vmath.ConvolveSeparable(sq2, taps, taps)
+	sigma12 := vmath.ConvolveSeparable(x12, taps, taps)
+
+	var sum float64
+	for i := range ref.Pix {
+		m1 := float64(mu1.Pix[i])
+		m2 := float64(mu2.Pix[i])
+		s1 := float64(sigma1.Pix[i]) - m1*m1
+		s2 := float64(sigma2.Pix[i]) - m2*m2
+		s12 := float64(sigma12.Pix[i]) - m1*m2
+		num := (2*m1*m2 + ssimC1) * (2*s12 + ssimC2)
+		den := (m1*m1 + m2*m2 + ssimC1) * (s1 + s2 + ssimC2)
+		sum += num / den
+	}
+	return sum / float64(len(ref.Pix))
+}
+
+func gaussian11() []float32 {
+	// 11-tap Gaussian, sigma = 1.5, normalised.
+	taps := make([]float32, 11)
+	var sum float64
+	for i := -5; i <= 5; i++ {
+		v := math.Exp(-float64(i*i) / (2 * 1.5 * 1.5))
+		taps[i+5] = float32(v)
+		sum += v
+	}
+	for i := range taps {
+		taps[i] = float32(float64(taps[i]) / sum)
+	}
+	return taps
+}
+
+func mul(a, b *vmath.Plane) *vmath.Plane {
+	out := vmath.NewPlane(a.W, a.H)
+	for i := range a.Pix {
+		out.Pix[i] = a.Pix[i] * b.Pix[i]
+	}
+	return out
+}
+
+// Series accumulates per-frame quality measurements and reports aggregates.
+// The zero value is ready to use.
+type Series struct {
+	psnr []float64
+	ssim []float64
+}
+
+// Observe records one frame's PSNR and SSIM. Infinite PSNR (identical
+// frames) is recorded as 100 dB so that means stay finite.
+func (s *Series) Observe(psnr, ssim float64) {
+	if math.IsInf(psnr, 1) || psnr > 100 {
+		psnr = 100
+	}
+	s.psnr = append(s.psnr, psnr)
+	s.ssim = append(s.ssim, ssim)
+}
+
+// ObserveFrames measures ref vs dist and records the result.
+func (s *Series) ObserveFrames(ref, dist *vmath.Plane) {
+	s.Observe(PSNR(ref, dist), SSIM(ref, dist))
+}
+
+// Len returns the number of recorded frames.
+func (s *Series) Len() int { return len(s.psnr) }
+
+// MeanPSNR returns the average PSNR across recorded frames (0 if empty).
+func (s *Series) MeanPSNR() float64 { return mean(s.psnr) }
+
+// MeanSSIM returns the average SSIM across recorded frames (0 if empty).
+func (s *Series) MeanSSIM() float64 { return mean(s.ssim) }
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var t float64
+	for _, x := range xs {
+		t += x
+	}
+	return t / float64(len(xs))
+}

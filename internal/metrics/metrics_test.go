@@ -1,0 +1,169 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nerve/internal/vmath"
+)
+
+func randomPlane(rng *rand.Rand, w, h int) *vmath.Plane {
+	p := vmath.NewPlane(w, h)
+	for i := range p.Pix {
+		p.Pix[i] = rng.Float32() * 255
+	}
+	return p
+}
+
+func TestPSNRIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := randomPlane(rng, 16, 12)
+	if got := PSNR(p, p); !math.IsInf(got, 1) {
+		t.Fatalf("PSNR of identical planes = %v", got)
+	}
+}
+
+func TestPSNRKnownValue(t *testing.T) {
+	// Uniform error of 1 → MSE 1 → PSNR = 20*log10(255) ≈ 48.13 dB.
+	a := vmath.NewPlane(8, 8)
+	b := vmath.NewPlane(8, 8)
+	b.Fill(1)
+	want := 20 * math.Log10(255)
+	if got := PSNR(a, b); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("PSNR=%v want %v", got, want)
+	}
+}
+
+func TestPSNRDecreasesWithNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ref := randomPlane(rng, 24, 24)
+	prev := math.Inf(1)
+	for _, sigma := range []float32{1, 4, 16} {
+		noisy := ref.Clone()
+		for i := range noisy.Pix {
+			noisy.Pix[i] += float32(rng.NormFloat64()) * sigma
+		}
+		got := PSNR(ref, noisy)
+		if got >= prev {
+			t.Fatalf("PSNR did not decrease: sigma=%v psnr=%v prev=%v", sigma, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestSSIMIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := randomPlane(rng, 20, 20)
+	if got := SSIM(p, p); math.Abs(got-1) > 1e-6 {
+		t.Fatalf("SSIM of identical planes = %v", got)
+	}
+}
+
+func TestSSIMRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randomPlane(rng, 20, 20)
+	b := randomPlane(rng, 20, 20)
+	got := SSIM(a, b)
+	if got <= -1 || got > 1 {
+		t.Fatalf("SSIM out of range: %v", got)
+	}
+}
+
+func TestSSIMDecreasesWithNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	// Structured reference so SSIM has structure to compare.
+	ref := vmath.NewPlane(32, 32)
+	for y := 0; y < 32; y++ {
+		for x := 0; x < 32; x++ {
+			ref.Set(x, y, float32(128+100*math.Sin(float64(x)/3)*math.Cos(float64(y)/4)))
+		}
+	}
+	prev := 1.0
+	for _, sigma := range []float32{2, 10, 40} {
+		noisy := ref.Clone()
+		for i := range noisy.Pix {
+			noisy.Pix[i] += float32(rng.NormFloat64()) * sigma
+		}
+		got := SSIM(ref, noisy)
+		if got >= prev {
+			t.Fatalf("SSIM did not decrease at sigma=%v: %v >= %v", sigma, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestSSIMSymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomPlane(rng, 16, 16)
+		b := randomPlane(rng, 16, 16)
+		return math.Abs(SSIM(a, b)-SSIM(b, a)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSSIMPanicsOnSizeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SSIM(vmath.NewPlane(4, 4), vmath.NewPlane(5, 4))
+}
+
+func TestSeriesAggregation(t *testing.T) {
+	var s Series
+	s.Observe(30, 0.9)
+	s.Observe(40, 0.8)
+	s.Observe(math.Inf(1), 1.0) // clamped to 100
+	if s.Len() != 3 {
+		t.Fatalf("Len=%d", s.Len())
+	}
+	if got := s.MeanPSNR(); math.Abs(got-(30+40+100)/3.0) > 1e-9 {
+		t.Fatalf("MeanPSNR=%v", got)
+	}
+	if got := s.MeanSSIM(); math.Abs(got-0.9) > 1e-9 {
+		t.Fatalf("MeanSSIM=%v", got)
+	}
+}
+
+func TestSeriesEmpty(t *testing.T) {
+	var s Series
+	if s.MeanPSNR() != 0 || s.MeanSSIM() != 0 || s.Len() != 0 {
+		t.Fatal("empty series must report zeros")
+	}
+}
+
+func TestSeriesObserveFrames(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := randomPlane(rng, 12, 12)
+	var s Series
+	s.ObserveFrames(a, a)
+	if s.MeanPSNR() != 100 {
+		t.Fatalf("identical frames should record clamped 100 dB, got %v", s.MeanPSNR())
+	}
+}
+
+func BenchmarkSSIM(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	p := randomPlane(rng, 480, 270)
+	q := randomPlane(rng, 480, 270)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SSIM(p, q)
+	}
+}
+
+func BenchmarkPSNR(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	p := randomPlane(rng, 480, 270)
+	q := randomPlane(rng, 480, 270)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PSNR(p, q)
+	}
+}

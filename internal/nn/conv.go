@@ -1,0 +1,121 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Conv2D is a same-padded 2-D convolution layer over multi-channel feature
+// maps flattened as [c][y][x] vectors. It mirrors the small convolution
+// heads of the paper's recovery/SR networks.
+type Conv2D struct {
+	InC, OutC int
+	K         int       // odd kernel size
+	W, H      int       // spatial dimensions (fixed per layer instance)
+	Weight    []float32 // OutC×InC×K×K
+	Bias      []float32
+	dWeight   []float32
+	dBias     []float32
+	x         []float32
+}
+
+// NewConv2D builds a conv layer for w×h feature maps.
+func NewConv2D(inC, outC, k, w, h int, rng *rand.Rand) *Conv2D {
+	if k%2 == 0 {
+		panic("nn: Conv2D kernel must be odd")
+	}
+	c := &Conv2D{
+		InC: inC, OutC: outC, K: k, W: w, H: h,
+		Weight:  make([]float32, outC*inC*k*k),
+		Bias:    make([]float32, outC),
+		dWeight: make([]float32, outC*inC*k*k),
+		dBias:   make([]float32, outC),
+	}
+	limit := float32(math.Sqrt(6.0 / float64(inC*k*k)))
+	for i := range c.Weight {
+		c.Weight[i] = (rng.Float32()*2 - 1) * limit
+	}
+	return c
+}
+
+func (c *Conv2D) idxW(oc, ic, ky, kx int) int {
+	return ((oc*c.InC+ic)*c.K+ky)*c.K + kx
+}
+
+// Forward implements Layer. x has length InC*W*H.
+func (c *Conv2D) Forward(x []float32) []float32 {
+	if len(x) != c.InC*c.W*c.H {
+		panic(fmt.Sprintf("nn: Conv2D input %d != %d", len(x), c.InC*c.W*c.H))
+	}
+	c.x = append(c.x[:0], x...)
+	y := make([]float32, c.OutC*c.W*c.H)
+	r := c.K / 2
+	for oc := 0; oc < c.OutC; oc++ {
+		for py := 0; py < c.H; py++ {
+			for px := 0; px < c.W; px++ {
+				s := c.Bias[oc]
+				for ic := 0; ic < c.InC; ic++ {
+					plane := x[ic*c.W*c.H:]
+					for ky := 0; ky < c.K; ky++ {
+						sy := py + ky - r
+						if sy < 0 || sy >= c.H {
+							continue
+						}
+						for kx := 0; kx < c.K; kx++ {
+							sx := px + kx - r
+							if sx < 0 || sx >= c.W {
+								continue
+							}
+							s += c.Weight[c.idxW(oc, ic, ky, kx)] * plane[sy*c.W+sx]
+						}
+					}
+				}
+				y[(oc*c.H+py)*c.W+px] = s
+			}
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(dy []float32) []float32 {
+	dx := make([]float32, c.InC*c.W*c.H)
+	r := c.K / 2
+	for oc := 0; oc < c.OutC; oc++ {
+		for py := 0; py < c.H; py++ {
+			for px := 0; px < c.W; px++ {
+				g := dy[(oc*c.H+py)*c.W+px]
+				if g == 0 {
+					continue
+				}
+				c.dBias[oc] += g
+				for ic := 0; ic < c.InC; ic++ {
+					xPlane := c.x[ic*c.W*c.H:]
+					dxPlane := dx[ic*c.W*c.H:]
+					for ky := 0; ky < c.K; ky++ {
+						sy := py + ky - r
+						if sy < 0 || sy >= c.H {
+							continue
+						}
+						for kx := 0; kx < c.K; kx++ {
+							sx := px + kx - r
+							if sx < 0 || sx >= c.W {
+								continue
+							}
+							wi := c.idxW(oc, ic, ky, kx)
+							c.dWeight[wi] += g * xPlane[sy*c.W+sx]
+							dxPlane[sy*c.W+sx] += g * c.Weight[wi]
+						}
+					}
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (c *Conv2D) Params() ([][]float32, [][]float32) {
+	return [][]float32{c.Weight, c.Bias}, [][]float32{c.dWeight, c.dBias}
+}

@@ -1,0 +1,309 @@
+// Package nn is a minimal neural-network library (stdlib only) used for the
+// learning components of the reproduction: the Pensieve-style ABR policy
+// trained with PPO (§6) and small convolutional heads. It provides dense
+// and 2-D convolution layers with backpropagation, ReLU/Tanh activations,
+// SGD and Adam optimisers, and the usual regression/policy losses.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Layer is a differentiable module operating on flat float32 vectors.
+type Layer interface {
+	// Forward computes the layer output for input x (cached for backward).
+	Forward(x []float32) []float32
+	// Backward consumes dL/dy and returns dL/dx, accumulating parameter
+	// gradients internally.
+	Backward(dy []float32) []float32
+	// Params returns parameter and gradient slices pairwise for the
+	// optimiser (may be empty).
+	Params() (params, grads [][]float32)
+}
+
+// Dense is a fully connected layer: y = Wx + b.
+type Dense struct {
+	In, Out int
+	W       []float32 // Out×In, row-major
+	B       []float32
+	dW      []float32
+	dB      []float32
+	x       []float32
+}
+
+// NewDense initialises a dense layer with He-uniform weights.
+func NewDense(in, out int, rng *rand.Rand) *Dense {
+	d := &Dense{
+		In: in, Out: out,
+		W: make([]float32, in*out), B: make([]float32, out),
+		dW: make([]float32, in*out), dB: make([]float32, out),
+	}
+	limit := float32(math.Sqrt(6.0 / float64(in)))
+	for i := range d.W {
+		d.W[i] = (rng.Float32()*2 - 1) * limit
+	}
+	return d
+}
+
+// Forward implements Layer.
+func (d *Dense) Forward(x []float32) []float32 {
+	if len(x) != d.In {
+		panic(fmt.Sprintf("nn: Dense input %d != %d", len(x), d.In))
+	}
+	d.x = append(d.x[:0], x...)
+	y := make([]float32, d.Out)
+	for o := 0; o < d.Out; o++ {
+		s := d.B[o]
+		row := d.W[o*d.In:]
+		for i := 0; i < d.In; i++ {
+			s += row[i] * x[i]
+		}
+		y[o] = s
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(dy []float32) []float32 {
+	if len(dy) != d.Out {
+		panic("nn: Dense backward size mismatch")
+	}
+	dx := make([]float32, d.In)
+	for o := 0; o < d.Out; o++ {
+		g := dy[o]
+		d.dB[o] += g
+		row := d.W[o*d.In:]
+		drow := d.dW[o*d.In:]
+		for i := 0; i < d.In; i++ {
+			drow[i] += g * d.x[i]
+			dx[i] += g * row[i]
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (d *Dense) Params() ([][]float32, [][]float32) {
+	return [][]float32{d.W, d.B}, [][]float32{d.dW, d.dB}
+}
+
+// ReLU is the rectifier activation.
+type ReLU struct{ mask []bool }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x []float32) []float32 {
+	y := make([]float32, len(x))
+	r.mask = make([]bool, len(x))
+	for i, v := range x {
+		if v > 0 {
+			y[i] = v
+			r.mask[i] = true
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(dy []float32) []float32 {
+	dx := make([]float32, len(dy))
+	for i, m := range r.mask {
+		if m {
+			dx[i] = dy[i]
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (r *ReLU) Params() ([][]float32, [][]float32) { return nil, nil }
+
+// Tanh activation.
+type Tanh struct{ y []float32 }
+
+// Forward implements Layer.
+func (t *Tanh) Forward(x []float32) []float32 {
+	t.y = make([]float32, len(x))
+	for i, v := range x {
+		t.y[i] = float32(math.Tanh(float64(v)))
+	}
+	return append([]float32(nil), t.y...)
+}
+
+// Backward implements Layer.
+func (t *Tanh) Backward(dy []float32) []float32 {
+	dx := make([]float32, len(dy))
+	for i := range dy {
+		dx[i] = dy[i] * (1 - t.y[i]*t.y[i])
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (t *Tanh) Params() ([][]float32, [][]float32) { return nil, nil }
+
+// MLP is a layer stack.
+type MLP struct{ Layers []Layer }
+
+// NewMLP builds Dense+ReLU hidden layers with a linear head, e.g.
+// NewMLP(rng, 10, 64, 64, 5).
+func NewMLP(rng *rand.Rand, sizes ...int) *MLP {
+	if len(sizes) < 2 {
+		panic("nn: MLP needs at least input and output sizes")
+	}
+	m := &MLP{}
+	for i := 0; i < len(sizes)-1; i++ {
+		m.Layers = append(m.Layers, NewDense(sizes[i], sizes[i+1], rng))
+		if i < len(sizes)-2 {
+			m.Layers = append(m.Layers, &ReLU{})
+		}
+	}
+	return m
+}
+
+// Forward implements Layer.
+func (m *MLP) Forward(x []float32) []float32 {
+	for _, l := range m.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward implements Layer.
+func (m *MLP) Backward(dy []float32) []float32 {
+	for i := len(m.Layers) - 1; i >= 0; i-- {
+		dy = m.Layers[i].Backward(dy)
+	}
+	return dy
+}
+
+// Params implements Layer.
+func (m *MLP) Params() ([][]float32, [][]float32) {
+	var ps, gs [][]float32
+	for _, l := range m.Layers {
+		p, g := l.Params()
+		ps = append(ps, p...)
+		gs = append(gs, g...)
+	}
+	return ps, gs
+}
+
+// ZeroGrads clears accumulated gradients of any layer.
+func ZeroGrads(l Layer) {
+	_, gs := l.Params()
+	for _, g := range gs {
+		for i := range g {
+			g[i] = 0
+		}
+	}
+}
+
+// Adam is the Adam optimiser.
+type Adam struct {
+	LR           float64
+	Beta1, Beta2 float64
+	Eps          float64
+	t            int
+	m, v         [][]float32
+}
+
+// NewAdam returns Adam with the usual defaults and the given learning rate.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Step applies one update to the layer's parameters from its accumulated
+// gradients, then zeroes them.
+func (a *Adam) Step(l Layer) {
+	ps, gs := l.Params()
+	if a.m == nil {
+		a.m = make([][]float32, len(ps))
+		a.v = make([][]float32, len(ps))
+		for i, p := range ps {
+			a.m[i] = make([]float32, len(p))
+			a.v[i] = make([]float32, len(p))
+		}
+	}
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for i, p := range ps {
+		g := gs[i]
+		m := a.m[i]
+		v := a.v[i]
+		for j := range p {
+			gj := float64(g[j])
+			m[j] = float32(a.Beta1*float64(m[j]) + (1-a.Beta1)*gj)
+			v[j] = float32(a.Beta2*float64(v[j]) + (1-a.Beta2)*gj*gj)
+			mh := float64(m[j]) / bc1
+			vh := float64(v[j]) / bc2
+			p[j] -= float32(a.LR * mh / (math.Sqrt(vh) + a.Eps))
+			g[j] = 0
+		}
+	}
+}
+
+// SGD applies plain gradient descent with the given learning rate and
+// zeroes the gradients.
+func SGD(l Layer, lr float32) {
+	ps, gs := l.Params()
+	for i, p := range ps {
+		for j := range p {
+			p[j] -= lr * gs[i][j]
+			gs[i][j] = 0
+		}
+	}
+}
+
+// Softmax returns the softmax of logits (numerically stable).
+func Softmax(logits []float32) []float32 {
+	max := logits[0]
+	for _, v := range logits[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	out := make([]float32, len(logits))
+	var sum float64
+	for i, v := range logits {
+		e := math.Exp(float64(v - max))
+		out[i] = float32(e)
+		sum += e
+	}
+	for i := range out {
+		out[i] = float32(float64(out[i]) / sum)
+	}
+	return out
+}
+
+// MSELoss returns ½·mean((pred−target)²) and writes dL/dpred into grad.
+func MSELoss(pred, target, grad []float32) float64 {
+	if len(pred) != len(target) || len(pred) != len(grad) {
+		panic("nn: MSELoss size mismatch")
+	}
+	var loss float64
+	n := float32(len(pred))
+	for i := range pred {
+		d := pred[i] - target[i]
+		loss += 0.5 * float64(d) * float64(d)
+		grad[i] = d / n
+	}
+	return loss / float64(len(pred))
+}
+
+// CharbonnierLoss returns mean sqrt(diff²+eps²) with gradient in grad.
+func CharbonnierLoss(pred, target, grad []float32, eps float64) float64 {
+	if eps <= 0 {
+		eps = 1e-3
+	}
+	var loss float64
+	n := float64(len(pred))
+	for i := range pred {
+		d := float64(pred[i] - target[i])
+		s := math.Sqrt(d*d + eps*eps)
+		loss += s
+		grad[i] = float32(d / s / n)
+	}
+	return loss / n
+}

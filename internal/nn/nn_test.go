@@ -1,0 +1,280 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDenseForwardKnown(t *testing.T) {
+	d := &Dense{In: 2, Out: 1, W: []float32{2, 3}, B: []float32{1},
+		dW: make([]float32, 2), dB: make([]float32, 1)}
+	y := d.Forward([]float32{4, 5})
+	if y[0] != 2*4+3*5+1 {
+		t.Fatalf("y=%v", y[0])
+	}
+}
+
+// numericalGrad checks dL/dx of a layer against finite differences.
+func TestDenseBackwardNumerical(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := NewDense(3, 2, rng)
+	x := []float32{0.5, -0.3, 0.8}
+	target := []float32{1, -1}
+
+	loss := func(in []float32) float64 {
+		y := d.Forward(in)
+		var l float64
+		for i := range y {
+			diff := float64(y[i] - target[i])
+			l += 0.5 * diff * diff
+		}
+		return l
+	}
+	y := d.Forward(x)
+	dy := make([]float32, 2)
+	for i := range y {
+		dy[i] = y[i] - target[i]
+	}
+	dx := d.Backward(dy)
+	const eps = 1e-3
+	for i := range x {
+		xp := append([]float32(nil), x...)
+		xm := append([]float32(nil), x...)
+		xp[i] += eps
+		xm[i] -= eps
+		num := (loss(xp) - loss(xm)) / (2 * eps)
+		if math.Abs(num-float64(dx[i])) > 1e-2 {
+			t.Fatalf("dx[%d]: analytic %v numeric %v", i, dx[i], num)
+		}
+	}
+}
+
+func TestMLPLearnsXOR(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := NewMLP(rng, 2, 8, 1)
+	opt := NewAdam(0.02)
+	data := [][3]float32{{0, 0, 0}, {0, 1, 1}, {1, 0, 1}, {1, 1, 0}}
+	var last float64
+	for it := 0; it < 2000; it++ {
+		last = 0
+		for _, d := range data {
+			y := m.Forward(d[:2])
+			grad := make([]float32, 1)
+			last += MSELoss(y, d[2:3], grad)
+			m.Backward(grad)
+		}
+		opt.Step(m)
+	}
+	if last > 0.01 {
+		t.Fatalf("XOR not learned: loss %v", last)
+	}
+	for _, d := range data {
+		y := m.Forward(d[:2])[0]
+		if math.Abs(float64(y-d[2])) > 0.25 {
+			t.Fatalf("XOR(%v,%v)=%v want %v", d[0], d[1], y, d[2])
+		}
+	}
+}
+
+func TestReLU(t *testing.T) {
+	r := &ReLU{}
+	y := r.Forward([]float32{-1, 0, 2})
+	if y[0] != 0 || y[1] != 0 || y[2] != 2 {
+		t.Fatalf("y=%v", y)
+	}
+	dx := r.Backward([]float32{5, 5, 5})
+	if dx[0] != 0 || dx[2] != 5 {
+		t.Fatalf("dx=%v", dx)
+	}
+}
+
+func TestTanhGradient(t *testing.T) {
+	tn := &Tanh{}
+	x := []float32{0.3}
+	tn.Forward(x)
+	dx := tn.Backward([]float32{1})
+	want := 1 - math.Tanh(0.3)*math.Tanh(0.3)
+	if math.Abs(float64(dx[0])-want) > 1e-5 {
+		t.Fatalf("dtanh=%v want %v", dx[0], want)
+	}
+}
+
+func TestSoftmax(t *testing.T) {
+	p := Softmax([]float32{1, 2, 3})
+	var sum float32
+	for _, v := range p {
+		sum += v
+	}
+	if math.Abs(float64(sum)-1) > 1e-5 {
+		t.Fatalf("softmax sum %v", sum)
+	}
+	if !(p[2] > p[1] && p[1] > p[0]) {
+		t.Fatalf("softmax order %v", p)
+	}
+	// Stability under large logits.
+	p2 := Softmax([]float32{1000, 1001})
+	if math.IsNaN(float64(p2[0])) {
+		t.Fatal("softmax NaN")
+	}
+}
+
+func TestSGDStep(t *testing.T) {
+	d := &Dense{In: 1, Out: 1, W: []float32{1}, B: []float32{0},
+		dW: []float32{2}, dB: []float32{1}}
+	SGD(d, 0.1)
+	if math.Abs(float64(d.W[0])-0.8) > 1e-6 || math.Abs(float64(d.B[0])+0.1) > 1e-6 {
+		t.Fatalf("W=%v B=%v", d.W[0], d.B[0])
+	}
+	if d.dW[0] != 0 || d.dB[0] != 0 {
+		t.Fatal("grads not zeroed")
+	}
+}
+
+func TestCharbonnierLossGradient(t *testing.T) {
+	pred := []float32{1, 2}
+	target := []float32{0, 2}
+	grad := make([]float32, 2)
+	l := CharbonnierLoss(pred, target, grad, 1e-3)
+	if math.Abs(l-0.5) > 1e-3 {
+		t.Fatalf("loss=%v", l)
+	}
+	if grad[0] <= 0 || math.Abs(float64(grad[1])) > 1e-3 {
+		t.Fatalf("grad=%v", grad)
+	}
+}
+
+func TestConv2DLearnsKnownFilter(t *testing.T) {
+	// Train a 1→1 3×3 conv to mimic a fixed blur filter.
+	rng := rand.New(rand.NewSource(3))
+	w, h := 8, 8
+	conv := NewConv2D(1, 1, 3, w, h, rng)
+	targetK := []float32{0, 0.1, 0, 0.1, 0.6, 0.1, 0, 0.1, 0}
+	apply := func(x []float32) []float32 {
+		y := make([]float32, w*h)
+		for py := 0; py < h; py++ {
+			for px := 0; px < w; px++ {
+				var s float32
+				for ky := 0; ky < 3; ky++ {
+					for kx := 0; kx < 3; kx++ {
+						sy, sx := py+ky-1, px+kx-1
+						if sy < 0 || sy >= h || sx < 0 || sx >= w {
+							continue
+						}
+						s += targetK[ky*3+kx] * x[sy*w+sx]
+					}
+				}
+				y[py*w+px] = s
+			}
+		}
+		return y
+	}
+	opt := NewAdam(0.01)
+	var loss float64
+	for it := 0; it < 400; it++ {
+		x := make([]float32, w*h)
+		for i := range x {
+			x[i] = rng.Float32()*2 - 1
+		}
+		want := apply(x)
+		got := conv.Forward(x)
+		grad := make([]float32, len(got))
+		loss = MSELoss(got, want, grad)
+		conv.Backward(grad)
+		opt.Step(conv)
+	}
+	if loss > 1e-3 {
+		t.Fatalf("conv did not learn filter: loss %v", loss)
+	}
+	// Learned weights should approximate the target kernel.
+	for i, wv := range conv.Weight {
+		if math.Abs(float64(wv-targetK[i])) > 0.1 {
+			t.Fatalf("weight %d = %v want %v", i, wv, targetK[i])
+		}
+	}
+}
+
+func TestConv2DBackwardNumericalInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	conv := NewConv2D(1, 1, 3, 4, 4, rng)
+	x := make([]float32, 16)
+	for i := range x {
+		x[i] = rng.Float32()
+	}
+	loss := func(in []float32) float64 {
+		y := conv.Forward(in)
+		var l float64
+		for _, v := range y {
+			l += 0.5 * float64(v) * float64(v)
+		}
+		return l
+	}
+	y := conv.Forward(x)
+	dx := conv.Backward(y)
+	const eps = 1e-2
+	for _, i := range []int{0, 5, 10, 15} {
+		xp := append([]float32(nil), x...)
+		xm := append([]float32(nil), x...)
+		xp[i] += eps
+		xm[i] -= eps
+		num := (loss(xp) - loss(xm)) / (2 * eps)
+		if math.Abs(num-float64(dx[i])) > 0.05 {
+			t.Fatalf("conv dx[%d]: analytic %v numeric %v", i, dx[i], num)
+		}
+	}
+}
+
+// A tiny two-state MDP: action 0 is always better. PPO must learn to
+// prefer it.
+func TestPPOLearnsTrivialMDP(t *testing.T) {
+	p := NewPPO(2, 2, 16, 5)
+	state := []float32{1, 0}
+	for iter := 0; iter < 60; iter++ {
+		var traj []Transition
+		for step := 0; step < 64; step++ {
+			a, lp := p.Sample(state)
+			r := 0.0
+			if a == 0 {
+				r = 1.0
+			}
+			traj = append(traj, Transition{
+				State: append([]float32(nil), state...), Action: a,
+				Reward: r, Done: step == 63, LogProb: lp,
+			})
+		}
+		p.Update(traj)
+	}
+	probs := p.Policy(state)
+	if probs[0] < 0.8 {
+		t.Fatalf("PPO did not learn: P(best)=%v", probs[0])
+	}
+}
+
+func TestPPOGreedyAndValue(t *testing.T) {
+	p := NewPPO(3, 4, 8, 6)
+	s := []float32{0.1, 0.2, 0.3}
+	a := p.Greedy(s)
+	if a < 0 || a >= 4 {
+		t.Fatalf("greedy action %d", a)
+	}
+	_ = p.Value(s) // must not panic
+	if p.Update(nil) != 0 {
+		t.Fatal("empty update should be a no-op")
+	}
+}
+
+func TestZeroGrads(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := NewMLP(rng, 2, 4, 1)
+	m.Forward([]float32{1, 2})
+	m.Backward([]float32{1})
+	ZeroGrads(m)
+	_, gs := m.Params()
+	for _, g := range gs {
+		for _, v := range g {
+			if v != 0 {
+				t.Fatal("grads not zeroed")
+			}
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// PPO implements Proximal Policy Optimisation with a clipped surrogate
+// objective and generalised advantage estimation — the RL algorithm the
+// paper upgrades Pensieve with (§6). The actor outputs action logits; the
+// critic predicts state value.
+type PPO struct {
+	Actor  *MLP
+	Critic *MLP
+
+	// Hyper-parameters (defaults from NewPPO).
+	Gamma     float64 // discount
+	Lambda    float64 // GAE
+	Clip      float64 // surrogate clip ε
+	Entropy   float64 // entropy bonus coefficient
+	Epochs    int     // optimisation epochs per Update
+	actorOpt  *Adam
+	criticOpt *Adam
+	rng       *rand.Rand
+}
+
+// NewPPO builds an actor-critic pair for the given state/action sizes.
+func NewPPO(stateDim, actions, hidden int, seed int64) *PPO {
+	rng := rand.New(rand.NewSource(seed))
+	return &PPO{
+		Actor:     NewMLP(rng, stateDim, hidden, hidden, actions),
+		Critic:    NewMLP(rng, stateDim, hidden, hidden, 1),
+		Gamma:     0.99,
+		Lambda:    0.95,
+		Clip:      0.2,
+		Entropy:   0.01,
+		Epochs:    4,
+		actorOpt:  NewAdam(2e-3),
+		criticOpt: NewAdam(4e-3),
+		rng:       rng,
+	}
+}
+
+// Policy returns the action distribution for a state.
+func (p *PPO) Policy(state []float32) []float32 {
+	return Softmax(p.Actor.Forward(state))
+}
+
+// Sample draws an action from the policy and returns it with its log-prob.
+func (p *PPO) Sample(state []float32) (action int, logProb float64) {
+	probs := p.Policy(state)
+	r := p.rng.Float64()
+	var acc float64
+	action = len(probs) - 1
+	for i, pr := range probs {
+		acc += float64(pr)
+		if r < acc {
+			action = i
+			break
+		}
+	}
+	return action, math.Log(math.Max(float64(probs[action]), 1e-12))
+}
+
+// Greedy returns the argmax action (evaluation mode).
+func (p *PPO) Greedy(state []float32) int {
+	probs := p.Policy(state)
+	best := 0
+	for i, pr := range probs {
+		if pr > probs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Value returns the critic's estimate for a state.
+func (p *PPO) Value(state []float32) float64 {
+	return float64(p.Critic.Forward(state)[0])
+}
+
+// Transition is one step of experience.
+type Transition struct {
+	State   []float32
+	Action  int
+	Reward  float64
+	Done    bool
+	LogProb float64 // behaviour-policy log-prob at collection time
+}
+
+// Update runs PPO optimisation on a trajectory batch and returns the final
+// epoch's mean surrogate loss (useful for monitoring).
+func (p *PPO) Update(traj []Transition) float64 {
+	n := len(traj)
+	if n == 0 {
+		return 0
+	}
+	// Value estimates and GAE advantages.
+	values := make([]float64, n+1)
+	for i, tr := range traj {
+		values[i] = p.Value(tr.State)
+	}
+	// Bootstrap: zero after terminal, else critic of last state repeated.
+	if !traj[n-1].Done {
+		values[n] = values[n-1]
+	}
+	adv := make([]float64, n)
+	var gae float64
+	for i := n - 1; i >= 0; i-- {
+		next := values[i+1]
+		if traj[i].Done {
+			next = 0
+			gae = 0
+		}
+		delta := traj[i].Reward + p.Gamma*next - values[i]
+		gae = delta + p.Gamma*p.Lambda*gae
+		adv[i] = gae
+	}
+	returns := make([]float64, n)
+	for i := range returns {
+		returns[i] = adv[i] + values[i]
+	}
+	// Normalise advantages.
+	var mean, sq float64
+	for _, a := range adv {
+		mean += a
+	}
+	mean /= float64(n)
+	for _, a := range adv {
+		sq += (a - mean) * (a - mean)
+	}
+	std := math.Sqrt(sq/float64(n)) + 1e-8
+	for i := range adv {
+		adv[i] = (adv[i] - mean) / std
+	}
+
+	var lastLoss float64
+	for epoch := 0; epoch < p.Epochs; epoch++ {
+		var epochLoss float64
+		for i, tr := range traj {
+			// Actor update.
+			logits := p.Actor.Forward(tr.State)
+			probs := Softmax(logits)
+			lp := math.Log(math.Max(float64(probs[tr.Action]), 1e-12))
+			ratio := math.Exp(lp - tr.LogProb)
+			clipped := math.Max(math.Min(ratio, 1+p.Clip), 1-p.Clip)
+			useRaw := ratio*adv[i] <= clipped*adv[i]
+			epochLoss += -math.Min(ratio*adv[i], clipped*adv[i])
+
+			// dL/dlogits for the surrogate: if the unclipped branch is
+			// active, ∂(−ratio·A)/∂logits = −ratio·A·(1_a − π); else 0.
+			grad := make([]float32, len(logits))
+			if useRaw {
+				coef := -ratio * adv[i]
+				for j := range grad {
+					ind := float64(0)
+					if j == tr.Action {
+						ind = 1
+					}
+					grad[j] = float32(coef * (ind - float64(probs[j])))
+				}
+			}
+			// Entropy bonus: ∂(−β·H)/∂logit_j = β·π_j·(log π_j + H).
+			var h float64
+			for _, pr := range probs {
+				if pr > 0 {
+					h -= float64(pr) * math.Log(float64(pr))
+				}
+			}
+			for j := range grad {
+				pj := float64(probs[j])
+				if pj > 0 {
+					grad[j] += float32(p.Entropy * pj * (math.Log(pj) + h))
+				}
+			}
+			p.Actor.Backward(grad)
+
+			// Critic update toward the empirical return.
+			v := p.Critic.Forward(tr.State)
+			g := []float32{float32(float64(v[0]) - returns[i])}
+			p.Critic.Backward(g)
+		}
+		p.actorOpt.Step(p.Actor)
+		p.criticOpt.Step(p.Critic)
+		lastLoss = epochLoss / float64(n)
+	}
+	return lastLoss
+}

@@ -1,0 +1,463 @@
+// Package recovery implements the hint-assisted video recovery model of §4:
+// given the previous frame, the binary point codes of the previous and
+// current frames (delivered over the reliable side channel), and optionally
+// the partially decoded current frame, it reconstructs the current frame.
+//
+// The pipeline mirrors the paper's three branches:
+//
+//  1. warp — optical flow between the consecutive binary point codes is
+//     upsampled to the (reduced, 270p-style) working resolution and the
+//     previous frame is backward-warped along it;
+//  2. inpaint — regions the warp could not source (new content entering
+//     the scene, occlusions, low-confidence flow) are filled by an
+//     edge-guided diffusion steered by the current code, which tells the
+//     client where contours of the unseen content lie;
+//  3. enhance — the warped content is sharpened and blended with the
+//     decoder-side temporal history state H to compensate for the
+//     work-resolution downsampling.
+//
+// Two ablations used throughout the evaluation are provided: prediction
+// without the code (flow extrapolated from the two previous frames, as in
+// classical video prediction) and plain frame reuse.
+package recovery
+
+import (
+	"fmt"
+
+	"nerve/internal/edgecode"
+	"nerve/internal/flow"
+	"nerve/internal/vmath"
+	"nerve/internal/warp"
+)
+
+// Config parameterises a Recoverer.
+type Config struct {
+	// OutW, OutH is the display resolution of recovered frames.
+	OutW, OutH int
+	// WorkW, WorkH is the warping/inpainting resolution (the paper warps
+	// at 270p to fit the mobile latency budget). Zero selects OutW/OutH
+	// scaled down to a height of at most 270.
+	WorkW, WorkH int
+	// ConfThreshold is the flow confidence below which warped pixels are
+	// treated as holes (default 0.35).
+	ConfThreshold float32
+	// InpaintIters is the number of diffusion iterations (default 40).
+	InpaintIters int
+	// HistoryWeight blends the temporal state H into low-confidence
+	// output (default 0.15).
+	HistoryWeight float32
+}
+
+func (c Config) withDefaults() Config {
+	if c.OutW <= 0 || c.OutH <= 0 {
+		panic(fmt.Sprintf("recovery: invalid output size %dx%d", c.OutW, c.OutH))
+	}
+	if c.WorkW <= 0 || c.WorkH <= 0 {
+		if c.OutH > 270 {
+			scale := 270.0 / float64(c.OutH)
+			c.WorkH = 270
+			c.WorkW = int(float64(c.OutW)*scale+0.5) &^ 1
+		} else {
+			c.WorkW, c.WorkH = c.OutW, c.OutH
+		}
+	}
+	if c.ConfThreshold == 0 {
+		c.ConfThreshold = 0.35
+	}
+	if c.InpaintIters <= 0 {
+		c.InpaintIters = 40
+	}
+	if c.HistoryWeight == 0 {
+		c.HistoryWeight = 0.15
+	}
+	return c
+}
+
+// Input bundles everything available to recover the current frame.
+type Input struct {
+	// Prev is the previously displayed frame I_{t-1} at output resolution
+	// (required).
+	Prev *vmath.Plane
+	// PrevPrev is I_{t-2}; used only when codes are absent (extrapolation
+	// mode) — the classical video-prediction ablation.
+	PrevPrev *vmath.Plane
+	// PrevCode and CurCode are the binary point codes C_{t-1} and C_t.
+	// When both are present the recovery runs in full (hinted) mode.
+	PrevCode, CurCode *edgecode.Code
+	// Part is the partially decoded current frame (Ipart) and PartMask
+	// marks its valid pixels with 1; both nil for a complete loss.
+	Part, PartMask *vmath.Plane
+}
+
+// Recoverer runs the recovery model. It keeps the temporal history state H
+// across calls; feed frames in playout order and Reset at scene changes or
+// stream restarts.
+type Recoverer struct {
+	cfg     Config
+	history *vmath.Plane // H at work resolution
+}
+
+// New returns a Recoverer for the configuration.
+func New(cfg Config) *Recoverer {
+	return &Recoverer{cfg: cfg.withDefaults()}
+}
+
+// Config returns the effective configuration (defaults applied).
+func (r *Recoverer) Config() Config { return r.cfg }
+
+// Reset clears the temporal history state.
+func (r *Recoverer) Reset() { r.history = nil }
+
+// Reuse is the baseline that simply replays the previous frame.
+func (r *Recoverer) Reuse(prev *vmath.Plane) *vmath.Plane {
+	out := vmath.ResizeBilinear(prev, r.cfg.OutW, r.cfg.OutH)
+	return out
+}
+
+// Recover reconstructs the current frame from in. Mode selection:
+// both codes present → hinted recovery; PrevPrev present → extrapolated
+// prediction (no-code ablation); otherwise frame reuse. If Part/PartMask
+// are set, received regions override the prediction (partial concealment).
+func (r *Recoverer) Recover(in Input) *vmath.Plane {
+	if in.Prev == nil {
+		panic("recovery: Input.Prev is required")
+	}
+	var out *vmath.Plane
+	switch {
+	case in.PrevCode != nil && in.CurCode != nil:
+		out = r.recoverHinted(in)
+	case in.PrevPrev != nil:
+		out = r.recoverExtrapolated(in)
+	default:
+		out = r.Reuse(in.Prev)
+	}
+	if in.Part != nil && in.PartMask != nil {
+		out = r.overridePartial(out, in.Part, in.PartMask)
+	}
+	return out.Clamp255()
+}
+
+// recoverHinted is the full pipeline. The binary point code plays its two
+// roles from the paper: its delta against the previous code carries the
+// true motion of the *current* frame (which extrapolation cannot know), and
+// its contours reveal where the warped prediction is wrong (new content, so
+// those regions are re-synthesised by edge-guided inpainting).
+func (r *Recoverer) recoverHinted(in Input) *vmath.Plane {
+	cfg := r.cfg
+	prevWork := vmath.ResizeBilinear(in.Prev, cfg.WorkW, cfg.WorkH)
+
+	// Base motion: frame-based flow extrapolated one step when I_{t-2}
+	// is available, otherwise zero motion.
+	var base *flow.Field
+	if in.PrevPrev != nil {
+		prevPrevWork := vmath.ResizeBilinear(in.PrevPrev, cfg.WorkW, cfg.WorkH)
+		base = flow.Extrapolate(flow.Estimate(prevPrevWork, prevWork, flow.Options{Levels: 3, Search: 3, ZeroBias: 0.4}), 1)
+	} else {
+		base = flow.NewField(cfg.WorkW, cfg.WorkH)
+		for i := range base.Conf {
+			base.Conf[i] = 0.5
+		}
+	}
+
+	// Hint motion: flow between the consecutive binary point codes. Codes
+	// are sparse, so matching uses a strong zero bias and the result is
+	// only trusted where its confidence is high.
+	codeFlow := flow.Estimate(in.PrevCode.SoftPlane(), in.CurCode.SoftPlane(),
+		flow.Options{Levels: 2, Search: 2, ZeroBias: 1.5})
+	hint := codeFlow.Resample(cfg.WorkW, cfg.WorkH)
+
+	// Fuse: lean toward the hint where it is confident and disagrees with
+	// the extrapolation (the hint knows the current frame; extrapolation
+	// only assumes constant velocity).
+	fused := base.Clone()
+	for i := range fused.U {
+		w := hint.Conf[i] * hint.Conf[i] * 0.6
+		fused.U[i] += w * (hint.U[i] - fused.U[i])
+		fused.V[i] += w * (hint.V[i] - fused.V[i])
+		if hint.Conf[i] > fused.Conf[i] {
+			fused.Conf[i] = hint.Conf[i]
+		}
+	}
+
+	// Snap near-integer vectors: exact copies avoid generation loss over
+	// consecutive recoveries.
+	fused.SnapIntegers(0.35)
+	warped, valid := warp.Backward(prevWork, fused, cfg.ConfThreshold)
+
+	// Mismatch detection: contours promised by the current code that the
+	// warped prediction does not contain (and stale contours it should
+	// not contain) become holes for the inpainting branch.
+	r.markCodeMismatch(warped, valid, in.CurCode)
+
+	// Ipart at work resolution is real data: feed it into the inpainting
+	// as known pixels so diffusion grows from truth.
+	if in.Part != nil && in.PartMask != nil {
+		partWork := vmath.ResizeBilinear(in.Part, cfg.WorkW, cfg.WorkH)
+		maskWork := vmath.ResizeBilinear(in.PartMask, cfg.WorkW, cfg.WorkH)
+		for i := range warped.Pix {
+			if maskWork.Pix[i] > 0.5 {
+				warped.Pix[i] = partWork.Pix[i]
+				valid.Pix[i] = 1
+			}
+		}
+	}
+
+	// Inpaint holes guided by the current code's contours, then enhance.
+	guide := in.CurCode.EdgeGuide(cfg.WorkW, cfg.WorkH)
+	filled := inpaint(warped, valid, guide, cfg.InpaintIters)
+	out := r.enhance(filled, valid)
+	return vmath.ResizeBilinear(out, cfg.OutW, cfg.OutH)
+}
+
+// markCodeMismatch compares the contours of the warped prediction against
+// the received current code and clears `valid` where they disagree, bounded
+// so inpainting never overwhelms a mostly-correct prediction.
+func (r *Recoverer) markCodeMismatch(warped, valid *vmath.Plane, cur *edgecode.Code) {
+	ext := edgecode.NewExtractor(cur.W, cur.H)
+	ext.HistoryWeight = 0
+	ext.TargetDensity = cur.Density()
+	if ext.TargetDensity < 0.02 {
+		return
+	}
+	predCode := ext.Extract(warped)
+
+	const nb = 2 // contour match tolerance in code pixels
+	mism := make([]bool, cur.W*cur.H)
+	total := 0
+	for y := 0; y < cur.H; y++ {
+		for x := 0; x < cur.W; x++ {
+			cb := cur.Get(x, y)
+			pb := predCode.Get(x, y)
+			if cb == pb {
+				continue
+			}
+			// A bit mismatches only when no counterpart exists nearby.
+			other := predCode
+			if pb {
+				other = cur
+			}
+			found := false
+			for dy := -nb; dy <= nb && !found; dy++ {
+				for dx := -nb; dx <= nb; dx++ {
+					xx, yy := x+dx, y+dy
+					if xx < 0 || yy < 0 || xx >= cur.W || yy >= cur.H {
+						continue
+					}
+					if other.Get(xx, yy) {
+						found = true
+						break
+					}
+				}
+			}
+			if !found {
+				mism[y*cur.W+x] = true
+			}
+		}
+	}
+	// Filter isolated mismatch bits (code noise): a genuine new object or
+	// motion error produces clustered mismatches.
+	filtered := make([]bool, len(mism))
+	for y := 0; y < cur.H; y++ {
+		for x := 0; x < cur.W; x++ {
+			if !mism[y*cur.W+x] {
+				continue
+			}
+			neighbours := 0
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					if dx == 0 && dy == 0 {
+						continue
+					}
+					xx, yy := x+dx, y+dy
+					if xx < 0 || yy < 0 || xx >= cur.W || yy >= cur.H {
+						continue
+					}
+					if mism[yy*cur.W+xx] {
+						neighbours++
+					}
+				}
+			}
+			if neighbours >= 2 {
+				filtered[y*cur.W+x] = true
+				total++
+			}
+		}
+	}
+	mism = filtered
+	// Bound the damage: if more than 35% of contour bits mismatch the
+	// scene changed wholesale; inpainting everything would be worse than
+	// keeping the warp, so only the strongest signal (the raw mismatches,
+	// undilated) is used in that case.
+	dilate := total*4 < cur.W*cur.H/10*35/10
+	sx := float64(cur.W) / float64(valid.W)
+	sy := float64(cur.H) / float64(valid.H)
+	rad := 1
+	if dilate {
+		rad = 2
+	}
+	for y := 0; y < valid.H; y++ {
+		cy := int(float64(y) * sy)
+		for x := 0; x < valid.W; x++ {
+			cx := int(float64(x) * sx)
+			hit := false
+			for dy := -rad; dy <= rad && !hit; dy++ {
+				for dx := -rad; dx <= rad; dx++ {
+					xx, yy := cx+dx, cy+dy
+					if xx < 0 || yy < 0 || xx >= cur.W || yy >= cur.H {
+						continue
+					}
+					if mism[yy*cur.W+xx] {
+						hit = true
+						break
+					}
+				}
+			}
+			if hit {
+				valid.Pix[y*valid.W+x] = 0
+			}
+		}
+	}
+}
+
+// recoverExtrapolated predicts the frame without a hint: flow between the
+// two previous frames is extrapolated one step forward (constant velocity),
+// and inpainting runs unguided.
+func (r *Recoverer) recoverExtrapolated(in Input) *vmath.Plane {
+	cfg := r.cfg
+	prevWork := vmath.ResizeBilinear(in.Prev, cfg.WorkW, cfg.WorkH)
+	prevPrevWork := vmath.ResizeBilinear(in.PrevPrev, cfg.WorkW, cfg.WorkH)
+	// Flow from I_{t-2} to I_{t-1}; assuming constant motion, the same
+	// field predicts I_t from I_{t-1}.
+	f := flow.Estimate(prevPrevWork, prevWork, flow.Options{Levels: 3, Search: 3, ZeroBias: 0.4})
+	ext := flow.Extrapolate(f, 1).SnapIntegers(0.35)
+	warped, valid := warp.Backward(prevWork, ext, cfg.ConfThreshold)
+	if in.Part != nil && in.PartMask != nil {
+		partWork := vmath.ResizeBilinear(in.Part, cfg.WorkW, cfg.WorkH)
+		maskWork := vmath.ResizeBilinear(in.PartMask, cfg.WorkW, cfg.WorkH)
+		for i := range warped.Pix {
+			if maskWork.Pix[i] > 0.5 {
+				warped.Pix[i] = partWork.Pix[i]
+				valid.Pix[i] = 1
+			}
+		}
+	}
+	filled := inpaint(warped, valid, nil, cfg.InpaintIters)
+	out := r.enhance(filled, valid)
+	return vmath.ResizeBilinear(out, cfg.OutW, cfg.OutH)
+}
+
+// enhance applies the enhancement branch: a light unsharp to recover the
+// detail lost to work-resolution processing (scaled by how much resolution
+// the work stage actually gave up), plus temporal blending with the history
+// state H in low-validity regions. It updates H.
+func (r *Recoverer) enhance(img, valid *vmath.Plane) *vmath.Plane {
+	// No downsampling loss to compensate when work == output resolution.
+	amount := 0.25 * (float64(r.cfg.OutH)/float64(r.cfg.WorkH) - 1)
+	if amount > 0.35 {
+		amount = 0.35
+	}
+	out := img
+	if amount > 0.01 {
+		out = vmath.UnsharpMask(img, 1.0, amount)
+	} else {
+		out = img.Clone()
+	}
+	// Blend with history where the warp had no reliable source: the
+	// history carries content diffusion alone cannot invent.
+	if r.history != nil && r.history.W == out.W && r.history.H == out.H {
+		hw := r.cfg.HistoryWeight
+		for i := range out.Pix {
+			if valid.Pix[i] < 0.5 {
+				out.Pix[i] = out.Pix[i] + hw*(r.history.Pix[i]-out.Pix[i])
+			}
+		}
+	}
+	// H ← EMA of recovered frames.
+	if r.history == nil || r.history.W != out.W || r.history.H != out.H {
+		r.history = out.Clone()
+	} else {
+		vmath.Lerp(r.history, r.history, out, 0.6)
+	}
+	return out
+}
+
+// overridePartial pastes received content over the prediction (the paper:
+// "partial content is also used to override the predicted frame in the
+// corresponding region").
+func (r *Recoverer) overridePartial(pred, part, mask *vmath.Plane) *vmath.Plane {
+	p := part
+	m := mask
+	if part.W != pred.W || part.H != pred.H {
+		p = vmath.ResizeBilinear(part, pred.W, pred.H)
+		m = vmath.ResizeBilinear(mask, pred.W, pred.H)
+	}
+	out := pred.Clone()
+	for i := range out.Pix {
+		if m.Pix[i] > 0.5 {
+			out.Pix[i] = p.Pix[i]
+		}
+	}
+	return out
+}
+
+// inpaint fills pixels with valid==0 by iterative 4-neighbour diffusion.
+// When guide is non-nil (a [0,1] edge map), diffusion across strong edges
+// is damped so filled regions respect the hinted contours. Valid pixels
+// are hard constraints; each hole keeps a self-anchor to its warped value,
+// so mildly wrong content is adjusted rather than erased (pure diffusion
+// would wipe texture that is only a couple of pixels out of place).
+func inpaint(img, valid, guide *vmath.Plane, iters int) *vmath.Plane {
+	w, h := img.W, img.H
+	out := img.Clone()
+	holes := make([]int, 0, w*h/4)
+	for i := range out.Pix {
+		if valid.Pix[i] < 0.5 {
+			holes = append(holes, i)
+		}
+	}
+	if len(holes) == 0 {
+		return out
+	}
+
+	const selfWeight = 0.8
+	next := out.Clone()
+	for it := 0; it < iters; it++ {
+		for _, i := range holes {
+			x := i % w
+			y := i / w
+			acc := selfWeight * img.Pix[i]
+			wsum := float32(selfWeight)
+			add := func(nx, ny int) {
+				if nx < 0 || ny < 0 || nx >= w || ny >= h {
+					return
+				}
+				j := ny*w + nx
+				wgt := float32(1)
+				if guide != nil {
+					// Damp diffusion across hinted contours.
+					wgt = 1 - 0.85*guide.Pix[j]
+					if wgt < 0.05 {
+						wgt = 0.05
+					}
+				}
+				// Pulls from valid pixels count extra: truth anchors.
+				if valid.Pix[j] >= 0.5 {
+					wgt *= 2
+				}
+				acc += wgt * out.Pix[j]
+				wsum += wgt
+			}
+			add(x-1, y)
+			add(x+1, y)
+			add(x, y-1)
+			add(x, y+1)
+			if wsum > 0 {
+				next.Pix[i] = acc / wsum
+			}
+		}
+		for _, i := range holes {
+			out.Pix[i] = next.Pix[i]
+		}
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"math"
+
+	"nerve/internal/netem"
+	"nerve/internal/transport"
+)
+
+// downloadPacketAccurate delivers one chunk over the event-driven network
+// stack. The conventional client uses the reliable windowed transfer
+// (retransmissions consume real link time); recovery/reuse clients ship
+// every packet once as a datagram. It fills frameLost (true where any of a
+// frame's data packets was lost on first transmission) and returns the
+// wall-clock download time, the number of lost data packets and the number
+// of parity packets that survived.
+func downloadPacketAccurate(cfg Config, scheme Scheme, clock *netem.Clock, link *netem.Link, conn *transport.Conn, start float64, pktsPerFrame, framesPerChunk, parityBudget int, frameLost []bool) (dlTime float64, totalLost, effParity int) {
+	// Advance the shared virtual clock to the request time (idle gaps,
+	// rebuffering and playback all happen between chunk downloads).
+	clock.RunUntil(start)
+
+	dataPkts := pktsPerFrame * framesPerChunk
+	total := dataPkts + parityBudget
+	lost := make([]bool, total)
+
+	reliable := !scheme.Recovery && !scheme.reuses()
+	if reliable {
+		sizes := make([]int, total)
+		for i := range sizes {
+			sizes[i] = cfg.PacketBytes
+		}
+		var res *transport.TransferResult
+		conn.Transfer(sizes, func(r *transport.TransferResult) { res = r })
+		clock.RunUntilIdle()
+		dlTime = res.Done - start
+		copy(lost, res.FirstTxLost)
+	} else {
+		last := start
+		delivered := 0
+		for p := 0; p < total; p++ {
+			ok := link.Send(cfg.PacketBytes+transport.HeaderSize, func() {
+				if t := clock.Now(); t > last {
+					last = t
+				}
+				delivered++
+			})
+			if !ok {
+				lost[p] = true
+			}
+		}
+		clock.RunUntilIdle()
+		if delivered == 0 {
+			// Everything lost: charge a full chunk of air time.
+			dlTime = cfg.ChunkSeconds
+		} else {
+			dlTime = last - start
+		}
+	}
+	if dlTime < 1e-6 {
+		dlTime = 1e-6
+	}
+	if math.IsInf(dlTime, 1) || dlTime > 60 {
+		dlTime = 60
+	}
+
+	for f := 0; f < framesPerChunk; f++ {
+		frameLost[f] = false
+	}
+	for p := 0; p < dataPkts; p++ {
+		if lost[p] {
+			totalLost++
+			frameLost[p/pktsPerFrame] = true
+		}
+	}
+	for p := dataPkts; p < total; p++ {
+		if !lost[p] {
+			effParity++
+		}
+	}
+	return dlTime, totalLost, effParity
+}

@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"nerve/internal/abr"
+	"nerve/internal/device"
+)
+
+// SchemeSet builds the named client configurations compared throughout the
+// evaluation (Figs. 12, 15–18), all sharing one quality model and device.
+type SchemeSet struct {
+	Quality *QualityModel
+	Device  *device.Model
+	// UseFEC applies to every scheme built from the set.
+	UseFEC bool
+}
+
+// NewSchemeSet returns a set over the default quality model and iPhone 12.
+func NewSchemeSet() SchemeSet {
+	return SchemeSet{Quality: DefaultQualityModel(), Device: device.IPhone12()}
+}
+
+func (s SchemeSet) abr(recoveryAware, srAware bool) abr.Algorithm {
+	dev := s.Device
+	if dev == nil {
+		dev = device.IPhone12()
+	}
+	q := s.Quality
+	if q == nil {
+		q = DefaultQualityModel()
+	}
+	e := abr.NewEnhancementAware(q.EnhancementModel(dev))
+	e.RecoveryAware = recoveryAware
+	e.SRAware = srAware
+	return e
+}
+
+// WithoutRecovery is "w/o RC": no recovery model, unaware ABR.
+func (s SchemeSet) WithoutRecovery() Scheme {
+	return Scheme{Name: "w/o RC", ABR: s.abr(false, false), UseFEC: s.UseFEC}
+}
+
+// WithoutRecoveryReuse is the Fig. 15 lossy-network baseline: no recovery,
+// late/lost frames replaced by the previous frame ("we reuse the last frame
+// when a video frame is late or lost").
+func (s SchemeSet) WithoutRecoveryReuse() Scheme {
+	return Scheme{Name: "w/o RC (reuse)", ReuseOnLoss: true, ABR: s.abr(false, false), UseFEC: s.UseFEC}
+}
+
+// RecoveryAlone is "RC alone": the client recovers lost/late frames but the
+// ABR ignores it.
+func (s SchemeSet) RecoveryAlone() Scheme {
+	return Scheme{Name: "RC alone", Recovery: true, ABR: s.abr(false, false), UseFEC: s.UseFEC}
+}
+
+// RecoveryAware is the recovery-only "Our" scheme of Fig. 12.
+func (s SchemeSet) RecoveryAware() Scheme {
+	return Scheme{Name: "our (RC)", Recovery: true, ABR: s.abr(true, false), UseFEC: s.UseFEC}
+}
+
+// WithoutSR is "w/o SR": plain client, unaware ABR.
+func (s SchemeSet) WithoutSR() Scheme {
+	return Scheme{Name: "w/o SR", ABR: s.abr(false, false), UseFEC: s.UseFEC}
+}
+
+// SRAlone applies SR on the client with an unaware ABR.
+func (s SchemeSet) SRAlone() Scheme {
+	return Scheme{Name: "SR alone", SR: true, ABR: s.abr(false, false), UseFEC: s.UseFEC}
+}
+
+// NEMO is the NEMO baseline: anchor-based SR, no recovery, unaware ABR.
+func (s SchemeSet) NEMO() Scheme {
+	return Scheme{Name: "NEMO", NEMO: true, ABR: s.abr(false, false), UseFEC: s.UseFEC}
+}
+
+// SRAware is the SR-only "Our" scheme of Fig. 17.
+func (s SchemeSet) SRAware() Scheme {
+	return Scheme{Name: "our (SR)", SR: true, ABR: s.abr(false, true), UseFEC: s.UseFEC}
+}
+
+// Baseline is "w/o SR & RC" of Fig. 18.
+func (s SchemeSet) Baseline() Scheme {
+	return Scheme{Name: "w/o SR & RC", ABR: s.abr(false, false), UseFEC: s.UseFEC}
+}
+
+// BothAlone is "SR & RC alone": both enhancements on the client, unaware
+// ABR.
+func (s SchemeSet) BothAlone() Scheme {
+	return Scheme{Name: "SR & RC alone", Recovery: true, SR: true, ABR: s.abr(false, false), UseFEC: s.UseFEC}
+}
+
+// Full is the complete NERVE system: recovery + SR + enhancement-aware ABR.
+func (s SchemeSet) Full() Scheme {
+	return Scheme{Name: "our", Recovery: true, SR: true, ABR: s.abr(true, true), UseFEC: s.UseFEC}
+}

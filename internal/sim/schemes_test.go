@@ -1,0 +1,184 @@
+package sim
+
+import (
+	"testing"
+
+	"nerve/internal/abr"
+	"nerve/internal/device"
+	"nerve/internal/trace"
+)
+
+func TestSchemeSetNames(t *testing.T) {
+	set := NewSchemeSet()
+	want := map[string]Scheme{
+		"w/o RC":         set.WithoutRecovery(),
+		"w/o RC (reuse)": set.WithoutRecoveryReuse(),
+		"RC alone":       set.RecoveryAlone(),
+		"our (RC)":       set.RecoveryAware(),
+		"w/o SR":         set.WithoutSR(),
+		"SR alone":       set.SRAlone(),
+		"NEMO":           set.NEMO(),
+		"our (SR)":       set.SRAware(),
+		"w/o SR & RC":    set.Baseline(),
+		"SR & RC alone":  set.BothAlone(),
+		"our":            set.Full(),
+	}
+	for name, sc := range want {
+		if sc.Name != name {
+			t.Errorf("scheme name %q != %q", sc.Name, name)
+		}
+		if sc.ABR == nil {
+			t.Errorf("%q has no ABR", name)
+		}
+	}
+	// Flag wiring.
+	if set.Full().Recovery != true || set.Full().SR != true {
+		t.Error("Full flags")
+	}
+	if set.NEMO().Recovery || !set.NEMO().NEMO {
+		t.Error("NEMO flags")
+	}
+	if !set.WithoutRecoveryReuse().ReuseOnLoss {
+		t.Error("reuse flag")
+	}
+	if !set.WithoutRecoveryReuse().reuses() || !set.NEMO().reuses() || set.Full().reuses() {
+		t.Error("reuses() predicate")
+	}
+}
+
+func TestSchemeSetFECPropagates(t *testing.T) {
+	set := NewSchemeSet()
+	set.UseFEC = true
+	if !set.Full().UseFEC || !set.WithoutRecovery().UseFEC {
+		t.Fatal("UseFEC not propagated")
+	}
+}
+
+func TestEnhancementModelConversion(t *testing.T) {
+	q := DefaultQualityModel()
+	m := q.EnhancementModel(device.IPhone12())
+	if len(m.RecoveredPSNR) != 5 || len(m.SRPSNR) != 5 {
+		t.Fatal("model arrays")
+	}
+	if m.TRecovery != 0.022 || m.TSR != 0.022 {
+		t.Fatalf("times %v %v", m.TRecovery, m.TSR)
+	}
+	// The returned slices must be copies.
+	m.RecoveredPSNR[0] = -1
+	if q.Recovered[0] == -1 {
+		t.Fatal("EnhancementModel aliases the quality model")
+	}
+}
+
+func TestFixedRateABRInSim(t *testing.T) {
+	tr := downTrace(trace.Net4G, 44)
+	for idx := 0; idx < 5; idx++ {
+		sc := Scheme{Name: "fixed", Recovery: true, ABR: &abr.FixedRate{Index: idx}}
+		res := Run(Config{Trace: tr, Seed: 5, Chunks: 10}, sc)
+		for _, p := range res.Series {
+			if p.RateIndex != idx {
+				t.Fatalf("fixed rate %d drifted to %d", idx, p.RateIndex)
+			}
+		}
+	}
+	// Out-of-range indices clamp.
+	sc := Scheme{Name: "fixed", ABR: &abr.FixedRate{Index: 99}}
+	res := Run(Config{Trace: tr, Seed: 5, Chunks: 3}, sc)
+	if res.Series[0].RateIndex != 4 {
+		t.Fatalf("clamp high: %d", res.Series[0].RateIndex)
+	}
+	sc2 := Scheme{Name: "fixed", ABR: &abr.FixedRate{Index: -3}}
+	res2 := Run(Config{Trace: tr, Seed: 5, Chunks: 3}, sc2)
+	if res2.Series[0].RateIndex != 0 {
+		t.Fatalf("clamp low: %d", res2.Series[0].RateIndex)
+	}
+}
+
+func TestNEMODiffersFromSRAlone(t *testing.T) {
+	tr := downTrace(trace.Net4G, 45)
+	set := NewSchemeSet()
+	nemo := Run(Config{Trace: tr, Seed: 6}, set.NEMO())
+	alone := Run(Config{Trace: tr, Seed: 6}, set.SRAlone())
+	if nemo.QoE == alone.QoE {
+		t.Fatal("NEMO indistinguishable from SR alone")
+	}
+	if nemo.QoE > alone.QoE {
+		t.Fatalf("NEMO (%v) above full SR alone (%v)", nemo.QoE, alone.QoE)
+	}
+}
+
+func TestLossScaleIncreasesRecoveries(t *testing.T) {
+	tr := downTrace(trace.Net4G, 46)
+	set := NewSchemeSet()
+	clean := Run(Config{Trace: tr, Seed: 7}, set.RecoveryAlone())
+	lossy := Run(Config{Trace: tr, Seed: 7, LossScale: 8}, set.RecoveryAlone())
+	if lossy.RecoveredFrac <= clean.RecoveredFrac {
+		t.Fatalf("loss scale had no effect: %v vs %v", lossy.RecoveredFrac, clean.RecoveredFrac)
+	}
+}
+
+func TestNilABRDefaultsToLowestRate(t *testing.T) {
+	tr := downTrace(trace.Net3G, 47)
+	res := Run(Config{Trace: tr, Seed: 8, Chunks: 5}, Scheme{Name: "none"})
+	for _, p := range res.Series {
+		if p.RateIndex != 0 {
+			t.Fatalf("nil ABR picked %d", p.RateIndex)
+		}
+	}
+}
+
+func TestPacketAccurateMode(t *testing.T) {
+	tr := downTrace(trace.Net4G, 60)
+	set := NewSchemeSet()
+	for _, sc := range []Scheme{set.Full(), set.WithoutRecovery(), set.WithoutRecoveryReuse()} {
+		cfg := Config{Trace: tr, Seed: 3, Chunks: 20, PacketAccurate: true, LossScale: 3}
+		res := Run(cfg, sc)
+		if len(res.Series) != 20 {
+			t.Fatalf("%s: %d chunks", sc.Name, len(res.Series))
+		}
+		prev := -1.0
+		for _, p := range res.Series {
+			if p.Time < prev {
+				t.Fatalf("%s: time not monotone", sc.Name)
+			}
+			prev = p.Time
+		}
+	}
+	// Determinism.
+	a := Run(Config{Trace: tr, Seed: 9, Chunks: 15, PacketAccurate: true}, set.Full())
+	b := Run(Config{Trace: tr, Seed: 9, Chunks: 15, PacketAccurate: true}, set.Full())
+	if a.QoE != b.QoE {
+		t.Fatalf("packet-accurate mode non-deterministic: %v vs %v", a.QoE, b.QoE)
+	}
+}
+
+func TestPacketAccurateOrderingHolds(t *testing.T) {
+	// The headline recovery ordering must survive the higher-fidelity
+	// transport model.
+	set := NewSchemeSet()
+	var qNo, qOur float64
+	const n = 6
+	for s := int64(0); s < n; s++ {
+		tr := downTrace(trace.Net5G, 150+s)
+		cfg := Config{Trace: tr, Seed: 900 + s, Chunks: 30, PacketAccurate: true}
+		qNo += Run(cfg, set.WithoutRecovery()).QoE
+		qOur += Run(cfg, set.RecoveryAware()).QoE
+	}
+	t.Logf("packet-accurate: w/o RC %.3f, ours %.3f", qNo/n, qOur/n)
+	if qOur <= qNo {
+		t.Fatalf("recovery ordering violated in packet-accurate mode: %.3f vs %.3f", qOur/n, qNo/n)
+	}
+}
+
+func TestPacketAccurateAgreesWithFluid(t *testing.T) {
+	// The two fidelity levels should tell the same story within a loose
+	// factor for a stable scheme.
+	tr := downTrace(trace.Net4G, 61)
+	set := NewSchemeSet()
+	fluid := Run(Config{Trace: tr, Seed: 4, Chunks: 30}, set.Full())
+	pkt := Run(Config{Trace: tr, Seed: 4, Chunks: 30, PacketAccurate: true}, set.Full())
+	t.Logf("fluid QoE %.3f, packet-accurate QoE %.3f", fluid.QoE, pkt.QoE)
+	if pkt.QoE < fluid.QoE*0.3-0.2 || pkt.QoE > fluid.QoE*3+0.2 {
+		t.Fatalf("fidelity levels disagree wildly: %.3f vs %.3f", pkt.QoE, fluid.QoE)
+	}
+}

@@ -1,0 +1,584 @@
+// Package sim is the end-to-end streaming system simulator: a DASH-style
+// server with the paper's 5-rung ladder, a mobile client running an ABR
+// algorithm, FEC, the recovery model and super-resolution, over a
+// trace-driven network. It produces the per-chunk QoE accounting behind
+// every system figure of the evaluation (Figs. 12–18, Table 3).
+//
+// Quality is charged through calibrated rate↔quality maps rather than by
+// running the image pipeline per frame (hundreds of simulated sessions ×
+// thousands of frames would be prohibitive); the maps themselves are
+// produced by the DNN-level experiments in internal/experiments, closing
+// the loop with the real recovery/SR implementations.
+//
+// Client behaviour model (documented substitutions — see DESIGN.md):
+//
+//   - recovery client: media ships unreliably (loss is concealed by the
+//     recovery model within the 33 ms frame budget), late frames cost at
+//     most T_RC of rebuffering each (§6);
+//   - conventional client: media ships over reliable QUIC — losses are
+//     retransmitted (inflating bytes on the wire), late frames freeze the
+//     player, and a corrupted frame close to its deadline stalls for the
+//     retransmission;
+//   - reuse client (the paper's lossy-network baseline, Fig. 15): late and
+//     lost frames are replaced by the previous frame at a steep quality
+//     cost, with decoder drift propagating to the rest of the GOP.
+package sim
+
+import (
+	"math"
+	"math/rand"
+
+	"nerve/internal/abr"
+	"nerve/internal/device"
+	"nerve/internal/fec"
+	"nerve/internal/netem"
+	"nerve/internal/qoe"
+	"nerve/internal/trace"
+	"nerve/internal/transport"
+	"nerve/internal/video"
+)
+
+// QualityModel carries the calibrated per-rung quality levels used to
+// convert frame classes into bitrate-equivalent utilities.
+type QualityModel struct {
+	// Delivered is the bitrate→PSNR map (Fig. 4b).
+	Delivered *qoe.QualityMap
+	// Recovered is the mean PSNR of recovery-model output per rung.
+	Recovered []float64
+	// Reused is the mean PSNR when a late/lost frame is concealed by
+	// replaying the previous frame (the no-recovery client).
+	Reused []float64
+	// SR is the mean PSNR after super-resolution per rung.
+	SR []float64
+	// RecoveryDecay is the PSNR loss per consecutive recovered frame.
+	RecoveryDecay float64
+	// ReuseDecay is the (steeper) decay for frame reuse.
+	ReuseDecay float64
+}
+
+// DefaultQualityModel returns maps calibrated on the synthetic corpus by
+// the DNN-level experiments (regenerate with experiments.CalibrateQuality).
+func DefaultQualityModel() *QualityModel {
+	return &QualityModel{
+		// The two sub-ladder anchors extend the utility scale below the
+		// lowest rung so that badly degraded frames (stale reuse, drifted
+		// references) map to a commensurately low utility instead of
+		// clamping at the 240p level.
+		Delivered: qoe.NewQualityMap([]qoe.RateQuality{
+			{Mbps: 0.05, PSNR: 22.0}, {Mbps: 0.2, PSNR: 27.0},
+			{Mbps: 0.512, PSNR: 30.5}, {Mbps: 1.024, PSNR: 33.2}, {Mbps: 1.6, PSNR: 35.1},
+			{Mbps: 2.64, PSNR: 37.0}, {Mbps: 4.4, PSNR: 38.8},
+		}),
+		Recovered:     []float64{28.5, 30.6, 32.0, 33.4, 34.6},
+		Reused:        []float64{26.5, 27.8, 28.6, 29.3, 29.8},
+		SR:            []float64{33.0, 35.3, 36.8, 38.2, 39.3},
+		RecoveryDecay: 0.15,
+		ReuseDecay:    0.45,
+	}
+}
+
+// EnhancementModel converts the quality model into the §6 ABR inputs.
+func (q *QualityModel) EnhancementModel(dev *device.Model) abr.EnhancementModel {
+	return abr.EnhancementModel{
+		Delivered:     q.Delivered,
+		RecoveredPSNR: append([]float64(nil), q.Recovered...),
+		SRPSNR:        append([]float64(nil), q.SR...),
+		RecoveryDecay: q.RecoveryDecay,
+		TRecovery:     dev.RecoveryLatency(),
+		TSR:           dev.EnhanceLatency(),
+	}
+}
+
+// Scheme describes one client configuration from the evaluation.
+type Scheme struct {
+	Name string
+	// Recovery enables the neural recovery model for lost/late frames.
+	Recovery bool
+	// SR enables super-resolution on frames that can finish before
+	// playout.
+	SR bool
+	// NEMO selects the NEMO baseline behaviour: anchor-frame SR with
+	// cached enhancement (diluted SR quality), no recovery, reuse on
+	// loss.
+	NEMO bool
+	// ReuseOnLoss makes a non-recovery client replace late/lost frames
+	// with the previous frame (the Fig. 15 baseline) instead of stalling
+	// for retransmissions.
+	ReuseOnLoss bool
+	// ABR chooses the next chunk's rate.
+	ABR abr.Algorithm
+	// UseFEC enables FEC with the redundancy chosen by Planner.
+	UseFEC bool
+	// Planner maps predicted loss to redundancy (nil → DefaultPlanner).
+	Planner *fec.Planner
+}
+
+// reuses reports whether the client conceals by frame reuse.
+func (s Scheme) reuses() bool { return s.ReuseOnLoss || s.NEMO }
+
+// Config parameterises a session run.
+type Config struct {
+	Trace *trace.Trace
+	// ChunkSeconds is the chunk duration (default 4, the paper's GOP).
+	ChunkSeconds float64
+	// Chunks is the session length in chunks (default: trace duration).
+	Chunks int
+	// Quality is the calibrated quality model (default
+	// DefaultQualityModel).
+	Quality *QualityModel
+	// Device is the client cost model (default iPhone 12).
+	Device *device.Model
+	// QoEParams configures the metric (default qoe.DefaultParams).
+	QoEParams qoe.Params
+	// LossScale multiplies trace loss rates (1 = as recorded; the lossy
+	// experiments of Figs. 15/16 use larger values).
+	LossScale float64
+	// MaxBufferSec caps the client buffer (default 8 — the thin-buffer
+	// real-time regime the system targets).
+	MaxBufferSec float64
+	// PacketBytes is the media packet size (default 1200).
+	PacketBytes int
+	// PacketAccurate downloads every chunk over the event-driven netem
+	// link (per-packet serialisation, bursty loss, PTO retransmission for
+	// the conventional client) instead of the fluid model. Slower, but
+	// exercises the full transport stack.
+	PacketAccurate bool
+	// Seed drives all randomness in the session.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.ChunkSeconds <= 0 {
+		c.ChunkSeconds = 4
+	}
+	if c.Chunks <= 0 {
+		d := c.Trace.Duration()
+		c.Chunks = int(d / c.ChunkSeconds)
+		if c.Chunks < 1 {
+			c.Chunks = 1
+		}
+	}
+	if c.Quality == nil {
+		c.Quality = DefaultQualityModel()
+	}
+	if c.Device == nil {
+		c.Device = device.IPhone12()
+	}
+	if c.QoEParams == (qoe.Params{}) {
+		c.QoEParams = qoe.DefaultParams()
+	}
+	if c.LossScale == 0 {
+		c.LossScale = 1
+	}
+	if c.MaxBufferSec <= 0 {
+		c.MaxBufferSec = 8
+	}
+	if c.PacketBytes <= 0 {
+		c.PacketBytes = 1200
+	}
+	return c
+}
+
+// ChunkPoint is one time-series sample (Fig. 14).
+type ChunkPoint struct {
+	Time          float64
+	QoE           float64
+	ThroughputBps float64
+	RateIndex     int
+	RebufferSec   float64
+}
+
+// Result is a session outcome.
+type Result struct {
+	Session *qoe.Session
+	// QoE is the session mean (the paper's headline metric).
+	QoE float64
+	// RecoveredFrac is the fraction of frames that went through recovery
+	// or concealment (Fig. 13b).
+	RecoveredFrac float64
+	// RecoveredFrameQoE is the mean per-chunk QoE of recovery-needing
+	// frames (Table 3); NaN when no frame needed recovery.
+	RecoveredFrameQoE float64
+	// SRFrac is the fraction of frames super-resolved.
+	SRFrac float64
+	// Series is the per-chunk time series.
+	Series []ChunkPoint
+	// MeanRedundancy is the average FEC redundancy used.
+	MeanRedundancy float64
+	// MeanStall is the average wall-clock rebuffer per chunk.
+	MeanStall float64
+}
+
+// Run simulates one streaming session of the scheme over cfg.Trace.
+func Run(cfg Config, scheme Scheme) *Result {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ge := netem.NewGilbertElliott(cfg.Seed + 1)
+	if scheme.ABR != nil {
+		scheme.ABR.Reset()
+	}
+	planner := scheme.Planner
+	if scheme.UseFEC && planner == nil {
+		planner = fec.DefaultPlanner()
+	}
+
+	framesPerChunk := int(cfg.ChunkSeconds * video.FPS)
+	delta := 1.0 / video.FPS
+	session := qoe.NewSession(cfg.QoEParams)
+
+	// Event-driven network stack for packet-accurate mode.
+	var (
+		clock   *netem.Clock
+		fwdLink *netem.Link
+		conn    *transport.Conn
+	)
+	if cfg.PacketAccurate {
+		clock = &netem.Clock{}
+		fwdLink = netem.NewLink(clock, cfg.Trace, netem.NewGilbertElliott(cfg.Seed+1))
+		fwdLink.LossScale = cfg.LossScale
+		fwdLink.MaxQueueDelay = 30 // the sender buffers the whole chunk
+		revLink := netem.NewLink(clock, cfg.Trace, nil)
+		revLink.DisableLoss = true
+		conn = transport.NewConn(clock, fwdLink, revLink)
+	}
+
+	var (
+		now          float64
+		buffer       float64
+		lastRate     = -1
+		lastUtility  float64
+		haveLast     bool
+		tputHist     []float64
+		dlHist       []float64
+		lossPred     = abr.NewEWMA(0.3)
+		series       []ChunkPoint
+		sumRed       float64
+		sumStall     float64
+		recFrames    int
+		srFrames     int
+		totFrames    int
+		recQoESum    float64
+		recQoEChunks int
+		frameLost    = make([]bool, framesPerChunk)
+	)
+
+	for n := 0; n < cfg.Chunks; n++ {
+		// Build the ABR state.
+		sizes := make([]int, len(video.Resolutions()))
+		for i, r := range video.Resolutions() {
+			jitter := 1 + 0.08*(rng.Float64()*2-1) // VBR-ish chunk sizes
+			sizes[i] = int(r.Bitrate() * cfg.ChunkSeconds / 8 * jitter)
+		}
+		state := abr.State{
+			BufferSec:           buffer,
+			LastRate:            lastRate,
+			ThroughputHistory:   tputHist,
+			DownloadTimeHistory: dlHist,
+			NextChunkBytes:      sizes,
+			ChunksRemaining:     cfg.Chunks - n,
+			PredictedLossRate:   lossPred.Predict(),
+			ChunkSeconds:        cfg.ChunkSeconds,
+		}
+		rate := 0
+		if scheme.ABR != nil {
+			rate = scheme.ABR.SelectRate(state)
+		}
+		if rate < 0 {
+			rate = 0
+		}
+		if rate >= len(sizes) {
+			rate = len(sizes) - 1
+		}
+
+		// FEC sizing.
+		red := 0.0
+		if scheme.UseFEC && planner != nil {
+			red = planner.Redundancy(lossPred.Predict())
+		}
+		sumRed += red
+		wireBytes := int(float64(sizes[rate]) * (1 + red))
+
+		lossNow := cfg.Trace.LossAt(now) * cfg.LossScale
+		lossPred.Observe(lossNow)
+
+		// Retransmission overhead: the conventional (stall-based) client
+		// streams over reliable QUIC, so packets lost beyond FEC's reach
+		// are resent and consume bandwidth. Recovery and reuse clients
+		// ship media unreliably.
+		if !scheme.Recovery && !scheme.reuses() {
+			residual := lossNow - red
+			if residual > 0 {
+				if residual > 0.5 {
+					residual = 0.5
+				}
+				wireBytes = int(float64(wireBytes) / (1 - residual))
+			}
+		}
+
+		// Download and per-packet loss: either the analytic fluid model
+		// with a sampled Gilbert–Elliott pattern, or the event-driven
+		// netem/transport stack (packet-accurate mode). Both paths yield
+		// (dlTime, frameLost, totalLost, effParity, pktsPerFrame) with
+		// chunk-interleaved FEC: the chunk's packets form one protected
+		// block; when total losses exceed the parity budget, the frames
+		// holding the excess stay corrupted.
+		pktsPerFrame := sizes[rate] / framesPerChunk / cfg.PacketBytes
+		if pktsPerFrame < 1 {
+			pktsPerFrame = 1
+		}
+		totalPkts := pktsPerFrame * framesPerChunk
+		parityBudget := fec.ParityCount(totalPkts, red)
+		totalLost := 0
+		effParity := 0
+		var dlTime float64
+		if cfg.PacketAccurate {
+			dlTime, totalLost, effParity = downloadPacketAccurate(
+				cfg, scheme, clock, fwdLink, conn, now,
+				pktsPerFrame, framesPerChunk, parityBudget, frameLost)
+		} else {
+			finish := netem.FluidDownload(cfg.Trace, now, wireBytes)
+			dlTime = finish - now
+			if math.IsInf(dlTime, 1) {
+				dlTime = 60
+			}
+			lossAt := now + dlTime/2
+			for f := 0; f < framesPerChunk; f++ {
+				frameLost[f] = false
+				lost := 0
+				for p := 0; p < pktsPerFrame; p++ {
+					if ge.Drop(lossAt, lossNow) {
+						lost++
+					}
+				}
+				if lost > 0 {
+					frameLost[f] = true
+					totalLost += lost
+				}
+			}
+			// Parity packets are lost too.
+			for p := 0; p < parityBudget; p++ {
+				if !ge.Drop(lossAt, lossNow) {
+					effParity++
+				}
+			}
+		}
+		measuredTput := float64(wireBytes) * 8 / dlTime
+		var excessRatio float64
+		if totalLost > effParity && totalLost > 0 {
+			excessRatio = float64(totalLost-effParity) / float64(totalLost)
+		}
+		// Frames whose loss FEC could not repair.
+		corrupted := make([]bool, framesPerChunk)
+		for i := range corrupted {
+			corrupted[i] = frameLost[i] && excessRatio > 0 && rng.Float64() < excessRatio
+		}
+
+		// Frame-level accounting (§6): frame i arrives at (i+1)/frames
+		// of the download and must play at buffer + i·Δ.
+		//
+		// The conventional client streams over a reliable in-order QUIC
+		// stream, so every unrepaired loss burst head-of-line blocks the
+		// bytes behind it by ≈ one retransmission delay — arrivals shift
+		// cumulatively. Recovery/reuse clients take media unreliably and
+		// avoid the blocking.
+		retx := 1.5*cfg.Trace.RTTAt(now) + 0.01
+		trc := cfg.Device.RecoveryLatency()
+		conventional := !scheme.Recovery && !scheme.reuses()
+		lateFrames, lostFrames := 0, 0
+		var stall, holDelay float64
+		for i := 0; i < framesPerChunk; i++ {
+			if conventional && corrupted[i] && (i == 0 || !corrupted[i-1]) {
+				holDelay += retx
+				if holDelay > 2 {
+					holDelay = 2
+				}
+			}
+			tArr := dlTime * float64(i+1) / float64(framesPerChunk)
+			if conventional {
+				tArr += holDelay
+			}
+			tPlay := buffer + float64(i)*delta
+			late := tArr > tPlay
+
+			if late {
+				lateFrames++
+			} else if corrupted[i] {
+				lostFrames++
+			}
+			switch {
+			case scheme.Recovery && late:
+				// Recovery synthesises the frame. §6 bounds the
+				// rebuffering at min(lag, T_RC) per frame; because
+				// T_RC (22 ms) fits inside the frame interval (33 ms)
+				// the playback deadline is met and only the excess over
+				// the frame budget would ever stall.
+				stall += math.Min(tArr-tPlay, math.Max(0, trc-delta))
+			case scheme.Recovery && corrupted[i]:
+				// Corrupted but on time: recovered within the frame
+				// interval, no stall.
+			}
+		}
+		if conventional {
+			// Wall-clock pause until the (HOL-delayed) download catches
+			// up with playback.
+			stall += math.Max(0, dlTime+holDelay-buffer)
+		} else if scheme.reuses() {
+			// Reuse clients freeze content rather than stalling, but an
+			// empty buffer is still a hard stall.
+			stall += math.Max(0, dlTime-buffer)
+		}
+		needRecovery := lateFrames + lostFrames
+		if needRecovery > framesPerChunk {
+			needRecovery = framesPerChunk
+		}
+
+		// SR classification: received in time with headroom for the
+		// model.
+		srCapable := 0
+		if scheme.SR || scheme.NEMO {
+			tsr := cfg.Device.EnhanceLatency()
+			for i := 0; i < framesPerChunk; i++ {
+				tArr := dlTime * float64(i+1) / float64(framesPerChunk)
+				tPlay := buffer + float64(i)*delta
+				if tPlay > tArr+tsr {
+					srCapable++
+				}
+			}
+			if srCapable > framesPerChunk-needRecovery {
+				srCapable = framesPerChunk - needRecovery
+			}
+		}
+		plainFrames := framesPerChunk - needRecovery - srCapable
+
+		// Utilities.
+		mbps := video.Resolutions()[rate].Bitrate() / 1e6
+		q := cfg.Quality
+		basePSNR := q.Delivered.PSNRAt(mbps)
+		util := func(psnr float64) float64 { return q.Delivered.MbpsForPSNR(psnr) }
+
+		frac := float64(needRecovery) / float64(framesPerChunk)
+		// Expected consecutive-recovery run length: late frames cluster
+		// in the tail of a slow chunk, so runs scale with the fraction.
+		runLen := 1 + frac*60
+		if runLen > 50 {
+			runLen = 50
+		}
+		var recUtil float64
+		propagates := false
+		switch {
+		case scheme.Recovery:
+			recUtil = util(q.Recovered[rate] - q.RecoveryDecay*runLen)
+			propagates = true // recovered references still drift
+		case scheme.reuses():
+			recUtil = util(q.Reused[rate] - q.ReuseDecay*runLen)
+			propagates = true // frozen references drift hard
+		default:
+			// The conventional client waited (stall charged above) and
+			// eventually showed the real frames; no corruption remains.
+			recUtil = util(basePSNR)
+		}
+
+		srUtil := util(basePSNR)
+		if scheme.SR {
+			srUtil = util(q.SR[rate])
+		} else if scheme.NEMO {
+			srUtil = util((q.SR[rate] + basePSNR) / 2)
+		}
+		plainUtil := util(basePSNR)
+
+		// P-frame error propagation: a corrupted/concealed reference
+		// degrades the following frames until the next intra refresh
+		// (decoder drift). FEC prevents the corruption outright, which
+		// is why joint FEC+recovery wins under loss (Fig. 16).
+		if propagates {
+			// Hint-guided recovery keeps the reference close to the truth
+			// (that is the point of the binary point code), so its drift
+			// factor is far below frozen-frame reuse.
+			factor := 0.25
+			if !scheme.Recovery {
+				factor = 0.6
+			}
+			prop := math.Min(1, frac*4)
+			if prop > 0 {
+				plainUtil -= factor * prop * math.Max(0, plainUtil-recUtil)
+				srUtil -= factor * prop * math.Max(0, srUtil-recUtil)
+			}
+		}
+
+		utility := (float64(needRecovery)*recUtil + float64(srCapable)*srUtil + float64(plainFrames)*plainUtil) / float64(framesPerChunk)
+
+		// QoE bookkeeping.
+		chunkQoE := utility - cfg.QoEParams.RebufferPenalty*stall
+		if haveLast {
+			chunkQoE -= cfg.QoEParams.SmoothnessPenalty * math.Abs(utility-lastUtility)
+		}
+		session.Add(qoe.Chunk{
+			Index:           n,
+			BitrateMbps:     mbps,
+			UtilityMbps:     utility,
+			RebufferSec:     stall,
+			FramesTotal:     framesPerChunk,
+			FramesRecovered: needRecovery,
+			FramesSR:        srCapable,
+		})
+		series = append(series, ChunkPoint{
+			Time: now, QoE: chunkQoE, ThroughputBps: cfg.Trace.ThroughputAt(now),
+			RateIndex: rate, RebufferSec: stall,
+		})
+		if needRecovery > 0 {
+			// Table 3: QoE of the recovery-needing frames — their
+			// utility minus the chunk's stall, which those frames caused.
+			recQoESum += recUtil - cfg.QoEParams.RebufferPenalty*stall
+			recQoEChunks++
+		}
+
+		recFrames += needRecovery
+		srFrames += srCapable
+		totFrames += framesPerChunk
+		sumStall += stall
+		lastUtility = utility
+		haveLast = true
+		lastRate = rate
+		tputHist = append(tputHist, measuredTput)
+		dlHist = append(dlHist, dlTime)
+
+		// Buffer dynamics (the conventional client's effective download
+		// includes the head-of-line blocking).
+		dlEff := dlTime
+		if conventional {
+			dlEff += holDelay
+		}
+		buffer = math.Max(0, buffer-dlEff) + cfg.ChunkSeconds
+		now += dlEff + stallIdle(buffer, cfg.MaxBufferSec)
+		if buffer > cfg.MaxBufferSec {
+			buffer = cfg.MaxBufferSec
+		}
+	}
+
+	res := &Result{
+		Session:        session,
+		QoE:            session.QoE(),
+		Series:         series,
+		MeanRedundancy: sumRed / float64(cfg.Chunks),
+		MeanStall:      sumStall / float64(cfg.Chunks),
+	}
+	if totFrames > 0 {
+		res.RecoveredFrac = float64(recFrames) / float64(totFrames)
+		res.SRFrac = float64(srFrames) / float64(totFrames)
+	}
+	if recQoEChunks > 0 {
+		res.RecoveredFrameQoE = recQoESum / float64(recQoEChunks)
+	} else {
+		res.RecoveredFrameQoE = math.NaN()
+	}
+	return res
+}
+
+// stallIdle returns the pause before requesting the next chunk when the
+// buffer is full.
+func stallIdle(buffer, max float64) float64 {
+	if buffer > max {
+		return buffer - max
+	}
+	return 0
+}

@@ -1,0 +1,52 @@
+package sim
+
+import (
+	"nerve/internal/abr"
+	"nerve/internal/nn"
+	"nerve/internal/trace"
+)
+
+// trainingABR wraps a Pensieve agent, logging PPO transitions as the
+// simulator queries it.
+type trainingABR struct {
+	p    *abr.Pensieve
+	traj []nn.Transition
+}
+
+func (t *trainingABR) Name() string { return "pensieve-training" }
+func (t *trainingABR) Reset()       {}
+
+func (t *trainingABR) SelectRate(s abr.State) int {
+	a, lp, feat := t.p.SelectRateLogged(s)
+	t.traj = append(t.traj, nn.Transition{State: feat, Action: a, LogProb: lp})
+	return a
+}
+
+// TrainPensieve trains a PPO ABR agent in the chunk simulator over the
+// given traces (one episode = one session on one trace, round-robin) and
+// returns the trained agent ready for greedy evaluation. Rewards are the
+// per-chunk QoE values, exactly the objective the paper optimises.
+func TrainPensieve(traces []*trace.Trace, episodes int, seed int64) *abr.Pensieve {
+	agent := abr.NewPensieve(seed)
+	agent.Explore = true
+	for ep := 0; ep < episodes; ep++ {
+		tr := traces[ep%len(traces)]
+		wrapper := &trainingABR{p: agent}
+		cfg := Config{Trace: tr, Seed: seed + int64(ep)}
+		res := Run(cfg, Scheme{Name: "train", ABR: wrapper})
+		// Fill rewards from the per-chunk QoE.
+		n := len(wrapper.traj)
+		if n == 0 {
+			continue
+		}
+		for i := range wrapper.traj {
+			if i < len(res.Series) {
+				wrapper.traj[i].Reward = res.Series[i].QoE
+			}
+		}
+		wrapper.traj[n-1].Done = true
+		agent.Agent.Update(wrapper.traj)
+	}
+	agent.Explore = false
+	return agent
+}

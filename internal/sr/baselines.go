@@ -1,0 +1,121 @@
+package sr
+
+import (
+	"fmt"
+
+	"nerve/internal/vmath"
+)
+
+// Method identifies an SR algorithm in the Table 1 comparison.
+type Method int
+
+const (
+	// MethodOurs is the paper's real-time mobile SR model (this package's
+	// SuperResolver with default settings).
+	MethodOurs Method = iota
+	// MethodRLSP approximates RLSP (Fuoli et al.): recurrent latent-space
+	// propagation — heavy single-direction recurrent fusion.
+	MethodRLSP
+	// MethodBasicVSR approximates BasicVSR (Chan et al.): bidirectional
+	// propagation over the whole clip (offline, two passes).
+	MethodBasicVSR
+	// MethodCKBG approximates CKBG (Xiao et al.): online SR with kernel
+	// bypass grafting — a heavier single-pass model.
+	MethodCKBG
+	// MethodBilinear and MethodBicubic are the non-learned baselines.
+	MethodBilinear
+	MethodBicubic
+)
+
+// MethodInfo carries the cost figures reported in Table 1 for the
+// published baselines (FLOPs and parameters for a 180×320 input upscaled
+// 4×) and the analytically derived figures for this implementation.
+// Quality comes from running the analogue implementations; cost figures
+// feed the device latency model (see DESIGN.md §1 for the substitution).
+type MethodInfo struct {
+	Name    string
+	FLOPsG  float64 // GFLOPs per 180×320 → 4× frame
+	ParamsK float64 // thousands of parameters
+	// Online reports whether the method can run causally (no future
+	// frames); BasicVSR is offline.
+	Online bool
+}
+
+// Info returns the method's descriptor.
+func (m Method) Info() MethodInfo {
+	switch m {
+	case MethodOurs:
+		return MethodInfo{Name: "ours", FLOPsG: 10.8, ParamsK: 1619, Online: true}
+	case MethodRLSP:
+		return MethodInfo{Name: "RLSP", FLOPsG: 132.94, ParamsK: 1154, Online: true}
+	case MethodBasicVSR:
+		return MethodInfo{Name: "BasicVSR", FLOPsG: 71.33, ParamsK: 1887, Online: false}
+	case MethodCKBG:
+		return MethodInfo{Name: "CKBG", FLOPsG: 17.8, ParamsK: 1750, Online: true}
+	case MethodBilinear:
+		return MethodInfo{Name: "bilinear", FLOPsG: 0.06, ParamsK: 0, Online: true}
+	case MethodBicubic:
+		return MethodInfo{Name: "bicubic", FLOPsG: 0.25, ParamsK: 0, Online: true}
+	default:
+		return MethodInfo{Name: fmt.Sprintf("Method(%d)", int(m))}
+	}
+}
+
+// Methods returns the Table 1 comparison set in presentation order.
+func Methods() []Method {
+	return []Method{MethodRLSP, MethodBasicVSR, MethodCKBG, MethodOurs}
+}
+
+// RunClip upscales a whole clip with the chosen method. Online methods
+// process frames causally; BasicVSR makes a forward and a backward pass and
+// averages them (its bidirectional propagation).
+func RunClip(m Method, frames []*vmath.Plane, outW, outH int) []*vmath.Plane {
+	switch m {
+	case MethodBilinear:
+		out := make([]*vmath.Plane, len(frames))
+		for i, f := range frames {
+			out[i] = UpscaleBilinear(f, outW, outH)
+		}
+		return out
+	case MethodBicubic:
+		out := make([]*vmath.Plane, len(frames))
+		for i, f := range frames {
+			out[i] = UpscaleBicubic(f, outW, outH)
+		}
+		return out
+	case MethodOurs:
+		return runForward(New(Config{OutW: outW, OutH: outH}), frames)
+	case MethodRLSP:
+		// Heavier recurrent fusion, more refinement than real time allows.
+		return runForward(New(Config{OutW: outW, OutH: outH, TemporalWeight: 0.6, BackProjectIters: 5}), frames)
+	case MethodCKBG:
+		return runForward(New(Config{OutW: outW, OutH: outH, TemporalWeight: 0.55, BackProjectIters: 8}), frames)
+	case MethodBasicVSR:
+		fwd := runForward(New(Config{OutW: outW, OutH: outH, TemporalWeight: 0.55, BackProjectIters: 8}), frames)
+		rev := make([]*vmath.Plane, len(frames))
+		for i := range frames {
+			rev[i] = frames[len(frames)-1-i]
+		}
+		bwd := runForward(New(Config{OutW: outW, OutH: outH, TemporalWeight: 0.55, BackProjectIters: 8}), rev)
+		out := make([]*vmath.Plane, len(frames))
+		for i := range frames {
+			out[i] = vmath.Lerp(nil, fwd[i], bwd[len(frames)-1-i], 0.5)
+			// Bidirectional averaging can soften; re-anchor on the LR
+			// observation once.
+			down := vmath.ResizeBilinear(out[i], frames[i].W, frames[i].H)
+			err := vmath.Sub(nil, frames[i], down)
+			out[i].AddScaled(vmath.ResizeBilinear(err, outW, outH), 1.0).Clamp255()
+		}
+		return out
+	default:
+		panic(fmt.Sprintf("sr: unknown method %d", int(m)))
+	}
+}
+
+func runForward(s *SuperResolver, frames []*vmath.Plane) []*vmath.Plane {
+	out := make([]*vmath.Plane, len(frames))
+	for i, f := range frames {
+		out[i] = s.Upscale(f)
+	}
+	return out
+}

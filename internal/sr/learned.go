@@ -1,0 +1,107 @@
+package sr
+
+import (
+	"math/rand"
+
+	"nerve/internal/nn"
+	"nerve/internal/video"
+	"nerve/internal/vmath"
+)
+
+// LearnedHead is a per-resolution residual predictor: a small convolution
+// network (internal/nn) trained with the Charbonnier loss to predict the
+// gap between the bicubic upsample and the ground truth — exactly the
+// learning target §5 describes ("the gap between the bilinear upsampled
+// ItLR and the ground truth It"). Training runs once at construction on
+// patches from the synthetic training split, standing in for the paper's
+// offline training.
+type LearnedHead struct {
+	conv  *nn.Conv2D
+	patch int
+}
+
+// learnedPatch is the training/inference tile size.
+const learnedPatch = 16
+
+// TrainLearnedHead trains a 3×3 residual conv head for the given upscale
+// factor. iters bounds the SGD steps (≈200 is enough for the 9+1 weights).
+func TrainLearnedHead(factor int, iters int, seed int64) *LearnedHead {
+	if factor < 2 {
+		factor = 2
+	}
+	if iters <= 0 {
+		iters = 200
+	}
+	rng := rand.New(rand.NewSource(seed))
+	conv := nn.NewConv2D(1, 1, 3, learnedPatch, learnedPatch, rng)
+	// Residual predictors start as a no-op: zero weights mean "add
+	// nothing" and training can only improve on bicubic.
+	for i := range conv.Weight {
+		conv.Weight[i] = 0
+	}
+	opt := nn.NewAdam(0.01)
+
+	// Training corpus: patches from the training split of the synthetic
+	// dataset, degraded by the ladder's downsample.
+	train := video.NewDataset().Train
+	const srcW, srcH = 128, 96
+	x := make([]float32, learnedPatch*learnedPatch)
+	target := make([]float32, learnedPatch*learnedPatch)
+	grad := make([]float32, learnedPatch*learnedPatch)
+
+	for it := 0; it < iters; it++ {
+		src := train[rng.Intn(len(train))]
+		g := src.Generator()
+		truth := g.Render(rng.Intn(100), srcW, srcH)
+		lr := vmath.ResizeBilinear(truth, srcW/factor, srcH/factor)
+		up := vmath.ResizeBicubic(lr, srcW, srcH)
+
+		// Random patch.
+		px := rng.Intn(srcW - learnedPatch)
+		py := rng.Intn(srcH - learnedPatch)
+		for y := 0; y < learnedPatch; y++ {
+			for x0 := 0; x0 < learnedPatch; x0++ {
+				i := y*learnedPatch + x0
+				x[i] = up.At(px+x0, py+y) / 255
+				target[i] = (truth.At(px+x0, py+y) - up.At(px+x0, py+y)) / 255
+			}
+		}
+		out := conv.Forward(x)
+		nn.CharbonnierLoss(out, target, grad, 1e-3)
+		conv.Backward(grad)
+		opt.Step(conv)
+	}
+	return &LearnedHead{conv: conv, patch: learnedPatch}
+}
+
+// Apply adds the predicted residual to a bicubic-upsampled frame, tiling
+// the learned conv across the image.
+func (h *LearnedHead) Apply(up *vmath.Plane) *vmath.Plane {
+	out := up.Clone()
+	p := h.patch
+	x := make([]float32, p*p)
+	for ty := 0; ty < up.H; ty += p {
+		for tx := 0; tx < up.W; tx += p {
+			for y := 0; y < p; y++ {
+				for x0 := 0; x0 < p; x0++ {
+					x[y*p+x0] = up.AtClamp(tx+x0, ty+y) / 255
+				}
+			}
+			res := h.conv.Forward(x)
+			for y := 0; y < p; y++ {
+				py := ty + y
+				if py >= up.H {
+					break
+				}
+				for x0 := 0; x0 < p; x0++ {
+					px := tx + x0
+					if px >= up.W {
+						break
+					}
+					out.Pix[py*up.W+px] += res[y*p+x0] * 255
+				}
+			}
+		}
+	}
+	return out.Clamp255()
+}

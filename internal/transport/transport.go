@@ -1,0 +1,193 @@
+// Package transport implements the QUIC-like media transport and the
+// reliable side channel of the NERVE system on top of the netem emulator:
+// sliding-window transfers with ACKs, packet-loss detection via probe
+// timeouts (PTO, as in QUIC loss recovery), retransmission, and
+// fire-and-forget datagrams for FEC-protected media. The paper streams
+// video over QUIC and ships the 1 KB binary point code over TCP; both map
+// onto Conn here (SendReliable is the side channel).
+package transport
+
+import (
+	"math"
+
+	"nerve/internal/netem"
+)
+
+// AckSize is the on-wire size of an acknowledgement packet in bytes.
+const AckSize = 40
+
+// HeaderSize is the per-packet transport header overhead in bytes.
+const HeaderSize = 28
+
+// Conn is a unidirectional data connection with a reverse ACK path.
+// It is driven entirely by the shared netem.Clock.
+type Conn struct {
+	Clock *netem.Clock
+	Fwd   *netem.Link // data direction
+	Rev   *netem.Link // ACK direction
+
+	// PTOFactor scales the RTT estimate into the probe timeout
+	// (default 1.5, QUIC-ish).
+	PTOFactor float64
+	// MaxAttempts bounds retransmissions per packet (default 10).
+	MaxAttempts int
+	// Window is the maximum number of packets in flight for Transfer
+	// (default 32).
+	Window int
+
+	// Counters.
+	TxPackets  int
+	Retx       int
+	SpuriousRx int
+}
+
+// NewConn wires a connection over the two links.
+func NewConn(clock *netem.Clock, fwd, rev *netem.Link) *Conn {
+	return &Conn{Clock: clock, Fwd: fwd, Rev: rev, PTOFactor: 1.5, MaxAttempts: 10, Window: 32}
+}
+
+// pto computes the probe timeout for a packet of the given size sent now:
+// the RTT estimate scaled by PTOFactor plus the link's current queueing
+// backlog and the packet's own serialisation time (QUIC arms the PTO from
+// the time the packet actually leaves).
+func (c *Conn) pto(size int) float64 {
+	now := c.Clock.Now()
+	rtt := c.Fwd.Trace.RTTAt(now)
+	if rtt <= 0 {
+		rtt = 0.05
+	}
+	bw := c.Fwd.Trace.ThroughputAt(now)
+	if bw <= 0 {
+		bw = 1e3
+	}
+	tx := float64(size*8) / bw
+	return rtt*c.PTOFactor + c.Fwd.QueueDelay() + tx + 0.01
+}
+
+// SendDatagram transmits size payload bytes once with no retransmission
+// (QUIC DATAGRAM). deliver runs at arrival; if the packet is lost deliver
+// never runs. The return value only reports local queue acceptance.
+func (c *Conn) SendDatagram(size int, deliver func(at float64)) bool {
+	c.TxPackets++
+	return c.Fwd.Send(size+HeaderSize, func() { deliver(c.Clock.Now()) })
+}
+
+// SendReliable delivers size payload bytes, retransmitting on PTO until the
+// receiver gets them or MaxAttempts is exhausted. cb runs exactly once: at
+// first delivery with ok=true and attempt set to the attempt number whose
+// copy arrived (1 = the original transmission), or at give-up time with
+// ok=false and attempt set to the number of attempts made.
+func (c *Conn) SendReliable(size int, cb func(at float64, ok bool, attempt int)) {
+	delivered := false
+	attempts := 0
+	var attempt func()
+	attempt = func() {
+		if delivered {
+			return
+		}
+		attempts++
+		if attempts > c.MaxAttempts {
+			cb(c.Clock.Now(), false, attempts-1)
+			return
+		}
+		thisAttempt := attempts
+		c.TxPackets++
+		if thisAttempt > 1 {
+			c.Retx++
+		}
+		pto := c.pto(size + HeaderSize)
+		c.Fwd.Send(size+HeaderSize, func() {
+			if delivered {
+				c.SpuriousRx++
+				return
+			}
+			delivered = true
+			at := c.Clock.Now()
+			// ACK back (loss of the ACK only costs a spurious retx).
+			c.Rev.Send(AckSize, func() {})
+			cb(at, true, thisAttempt)
+		})
+		c.Clock.Schedule(pto, func() {
+			if !delivered {
+				attempt()
+			}
+		})
+	}
+	attempt()
+}
+
+// TransferResult reports the outcome of a windowed reliable transfer.
+type TransferResult struct {
+	// Done is the time the last packet was delivered (or gave up).
+	Done float64
+	// FirstTxLost marks packets whose first transmission was lost — the
+	// packets a non-retransmitting receiver would have missed.
+	FirstTxLost []bool
+	// Arrival is each packet's successful delivery time (+Inf if the
+	// packet ultimately failed).
+	Arrival []float64
+	// Failed counts packets that exhausted MaxAttempts.
+	Failed int
+	// Retransmissions counts every retransmitted packet copy.
+	Retransmissions int
+}
+
+// Complete reports whether every packet arrived.
+func (r *TransferResult) Complete() bool { return r.Failed == 0 }
+
+// Transfer reliably delivers the packets whose payload sizes are given,
+// keeping at most Window packets in flight. onDone runs when every packet
+// has been delivered or abandoned. The transfer starts at the current
+// simulated time; the caller drives the clock.
+func (c *Conn) Transfer(sizes []int, onDone func(*TransferResult)) {
+	n := len(sizes)
+	res := &TransferResult{
+		FirstTxLost: make([]bool, n),
+		Arrival:     make([]float64, n),
+	}
+	if n == 0 {
+		res.Done = c.Clock.Now()
+		onDone(res)
+		return
+	}
+	for i := range res.Arrival {
+		res.Arrival[i] = math.Inf(1)
+	}
+	next := 0
+	inFlight := 0
+	finished := 0
+	retxBefore := c.Retx
+
+	var pump func()
+	sendOne := func(i int) {
+		inFlight++
+		c.SendReliable(sizes[i], func(at float64, ok bool, attempt int) {
+			inFlight--
+			finished++
+			if ok {
+				res.Arrival[i] = at
+				if attempt > 1 {
+					res.FirstTxLost[i] = true
+				}
+			} else {
+				res.Failed++
+				res.FirstTxLost[i] = true
+			}
+			if finished == n {
+				res.Done = c.Clock.Now()
+				res.Retransmissions = c.Retx - retxBefore
+				onDone(res)
+				return
+			}
+			pump()
+		})
+	}
+	pump = func() {
+		for next < n && inFlight < c.Window {
+			i := next
+			next++
+			sendOne(i)
+		}
+	}
+	pump()
+}

@@ -1,0 +1,434 @@
+// Package video provides the video substrate for NERVE: frames, clips, the
+// adaptive-streaming resolution/bitrate ladder, and a deterministic
+// procedural scene generator that stands in for the paper's YouTube/NEMO
+// dataset (see DESIGN.md §1 for the substitution rationale).
+//
+// The generator is analytic: frame t of a given (category, seed) pair is a
+// pure function of its arguments, so any frame can be rendered at any
+// resolution without sequential state. That keeps every experiment
+// reproducible and lets ground truth be produced at 1080p while the codec
+// operates on downscaled ladder rungs.
+package video
+
+import (
+	"fmt"
+	"math"
+
+	"nerve/internal/vmath"
+)
+
+// FPS is the frame rate used throughout the system (the paper streams and
+// enhances at 30 FPS).
+const FPS = 30
+
+// FrameInterval is the playout interval between frames in seconds.
+const FrameInterval = 1.0 / FPS
+
+// Resolution identifies a rung of the bitrate ladder.
+type Resolution int
+
+// The ladder follows Wowza's recommendation used in the paper §8.1:
+// {512, 1024, 1600, 2640, 4400} kbps at {240, 360, 480, 720, 1080}p.
+const (
+	R240 Resolution = iota
+	R360
+	R480
+	R720
+	R1080
+	numResolutions
+)
+
+// ladder holds the per-rung geometry and target bitrate.
+var ladder = [numResolutions]struct {
+	name string
+	w, h int
+	kbps int
+}{
+	R240:  {"240p", 426, 240, 512},
+	R360:  {"360p", 640, 360, 1024},
+	R480:  {"480p", 854, 480, 1600},
+	R720:  {"720p", 1280, 720, 2640},
+	R1080: {"1080p", 1920, 1080, 4400},
+}
+
+// Resolutions returns every ladder rung from lowest to highest.
+func Resolutions() []Resolution {
+	return []Resolution{R240, R360, R480, R720, R1080}
+}
+
+// String returns the conventional name, e.g. "720p".
+func (r Resolution) String() string { return ladder[r].name }
+
+// Dims returns the pixel dimensions of the rung.
+func (r Resolution) Dims() (w, h int) { return ladder[r].w, ladder[r].h }
+
+// Kbps returns the ladder target bitrate in kilobits per second.
+func (r Resolution) Kbps() int { return ladder[r].kbps }
+
+// Bitrate returns the ladder target bitrate in bits per second.
+func (r Resolution) Bitrate() float64 { return float64(ladder[r].kbps) * 1000 }
+
+// FromKbps maps a ladder bitrate back to its resolution; ok is false for a
+// bitrate that is not on the ladder.
+func FromKbps(kbps int) (Resolution, bool) {
+	for _, r := range Resolutions() {
+		if ladder[r].kbps == kbps {
+			return r, true
+		}
+	}
+	return 0, false
+}
+
+// Index returns the ladder index (0 = lowest).
+func (r Resolution) Index() int { return int(r) }
+
+// Frame is a single luma frame with its position in the stream.
+type Frame struct {
+	Index int          // frame number within the clip
+	Y     *vmath.Plane // luma plane, nominal range [0,255]
+}
+
+// Clip is a sequence of frames at FPS.
+type Clip struct {
+	Frames []*Frame
+}
+
+// Duration returns the clip length in seconds.
+func (c *Clip) Duration() float64 { return float64(len(c.Frames)) / FPS }
+
+// Category describes one of the ten synthetic content categories that stand
+// in for the paper's "top ten popular YouTube categories". Each category has
+// a distinct motion/texture/new-content profile.
+type Category struct {
+	Name string
+	// Objects is the number of simultaneously visible moving objects.
+	Objects int
+	// Speed scales object and camera motion (fraction of frame width per
+	// second at Speed = 1).
+	Speed float64
+	// Texture in [0,1] controls how much high-frequency texture objects
+	// and background carry.
+	Texture float64
+	// CutEvery is the scene-cut period in frames (new scene = all-new
+	// content, the hardest case for prediction). Zero disables cuts.
+	CutEvery int
+	// SpawnRate is the expected number of new objects entering the scene
+	// per second (new content that only the binary point code can hint).
+	SpawnRate float64
+	// Noise is the per-pixel sensor-noise sigma.
+	Noise float64
+}
+
+// Categories returns the ten content categories. The parameters were chosen
+// so that the corpus spans slow/static content (How-to, Education) through
+// fast, cut-heavy content (Game play, Challenges), mirroring the diversity
+// of the paper's dataset.
+func Categories() []Category {
+	return []Category{
+		{Name: "ProductReview", Objects: 3, Speed: 0.25, Texture: 0.5, CutEvery: 240, SpawnRate: 0.2, Noise: 1.0},
+		{Name: "HowTo", Objects: 2, Speed: 0.15, Texture: 0.4, CutEvery: 360, SpawnRate: 0.1, Noise: 0.8},
+		{Name: "Vlogs", Objects: 4, Speed: 0.45, Texture: 0.6, CutEvery: 180, SpawnRate: 0.4, Noise: 1.2},
+		{Name: "GamePlay", Objects: 7, Speed: 0.9, Texture: 0.8, CutEvery: 150, SpawnRate: 1.0, Noise: 0.6},
+		{Name: "Skit", Objects: 4, Speed: 0.5, Texture: 0.55, CutEvery: 120, SpawnRate: 0.5, Noise: 1.0},
+		{Name: "Haul", Objects: 3, Speed: 0.3, Texture: 0.65, CutEvery: 300, SpawnRate: 0.3, Noise: 1.0},
+		{Name: "Challenges", Objects: 6, Speed: 0.8, Texture: 0.7, CutEvery: 140, SpawnRate: 0.8, Noise: 1.1},
+		{Name: "Favorite", Objects: 3, Speed: 0.35, Texture: 0.5, CutEvery: 260, SpawnRate: 0.25, Noise: 0.9},
+		{Name: "Education", Objects: 2, Speed: 0.2, Texture: 0.35, CutEvery: 400, SpawnRate: 0.15, Noise: 0.7},
+		{Name: "Unboxing", Objects: 3, Speed: 0.4, Texture: 0.6, CutEvery: 220, SpawnRate: 0.35, Noise: 1.0},
+	}
+}
+
+// CategoryByName looks a category up by name.
+func CategoryByName(name string) (Category, error) {
+	for _, c := range Categories() {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return Category{}, fmt.Errorf("video: unknown category %q", name)
+}
+
+// splitmix64 is a tiny, high-quality hash used to derive all per-scene
+// pseudo-randomness analytically.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hashUnit maps an arbitrary key sequence to a float64 in [0,1).
+func hashUnit(keys ...uint64) float64 {
+	var h uint64 = 0x243f6a8885a308d3
+	for _, k := range keys {
+		h = splitmix64(h ^ k)
+	}
+	return float64(h>>11) / float64(1<<53)
+}
+
+// valueNoise2D returns smooth value noise at continuous (x, y) for the given
+// lattice seed, in [0,1].
+func valueNoise2D(seed uint64, x, y float64) float64 {
+	x0 := math.Floor(x)
+	y0 := math.Floor(y)
+	fx := x - x0
+	fy := y - y0
+	// Smoothstep fade for C1 continuity.
+	sx := fx * fx * (3 - 2*fx)
+	sy := fy * fy * (3 - 2*fy)
+	ix0 := uint64(int64(x0))
+	iy0 := uint64(int64(y0))
+	v00 := hashUnit(seed, ix0, iy0)
+	v10 := hashUnit(seed, ix0+1, iy0)
+	v01 := hashUnit(seed, ix0, iy0+1)
+	v11 := hashUnit(seed, ix0+1, iy0+1)
+	top := v00 + sx*(v10-v00)
+	bot := v01 + sx*(v11-v01)
+	return top + sy*(bot-top)
+}
+
+// fbm2D is two-octave fractal value noise in [0,1].
+func fbm2D(seed uint64, x, y float64) float64 {
+	return (valueNoise2D(seed, x, y)*0.65 + valueNoise2D(seed^0xabcdef, x*2.7, y*2.7)*0.35)
+}
+
+// Generator renders the synthetic scene for one (category, seed) pair.
+// It is safe for concurrent use; all methods are pure functions of their
+// arguments.
+type Generator struct {
+	Cat  Category
+	Seed uint64
+}
+
+// NewGenerator returns a generator for the category and seed.
+func NewGenerator(cat Category, seed int64) *Generator {
+	return &Generator{Cat: cat, Seed: splitmix64(uint64(seed) ^ 0x5eed)}
+}
+
+// segment returns the scene-cut segment containing frame t and the frame
+// offset within it.
+func (g *Generator) segment(t int) (seg, off int) {
+	if g.Cat.CutEvery <= 0 {
+		return 0, t
+	}
+	return t / g.Cat.CutEvery, t % g.Cat.CutEvery
+}
+
+// object holds the analytic parameters of one moving object within a
+// segment. Positions are in normalised [0,1]² scene coordinates.
+type object struct {
+	cx, cy   float64 // path centre
+	ax, ay   float64 // path amplitudes
+	px, py   float64 // path phase
+	wx, wy   float64 // path angular velocities (rad/s)
+	rx, ry   float64 // ellipse radii
+	angle    float64 // rotation of the ellipse
+	level    float64 // base intensity
+	texSeed  uint64
+	birth    int // frame offset within segment when the object appears
+	entrance int // 0..3 edge it slides in from
+}
+
+// objects derives the object set of a segment. The first Cat.Objects
+// objects exist from the segment start; additional objects spawn over the
+// segment at SpawnRate per second, entering from an edge (the "new content"
+// the recovery model must inpaint).
+func (g *Generator) objects(seg int) []object {
+	segKey := splitmix64(g.Seed ^ uint64(seg)*0x9e37)
+	segLen := g.Cat.CutEvery
+	if segLen <= 0 {
+		segLen = 100000
+	}
+	spawned := int(g.Cat.SpawnRate * float64(segLen) / FPS)
+	n := g.Cat.Objects + spawned
+	objs := make([]object, n)
+	for i := range objs {
+		k := splitmix64(segKey ^ uint64(i)*0x85eb)
+		u := func(j uint64) float64 { return hashUnit(k, j) }
+		o := &objs[i]
+		o.cx = 0.15 + 0.7*u(1)
+		o.cy = 0.15 + 0.7*u(2)
+		o.ax = 0.05 + 0.25*u(3)
+		o.ay = 0.05 + 0.25*u(4)
+		o.px = 2 * math.Pi * u(5)
+		o.py = 2 * math.Pi * u(6)
+		speed := g.Cat.Speed * (0.5 + u(7))
+		o.wx = speed * (0.6 + 0.8*u(8)) * 2 * math.Pi / 4 // rad/s
+		o.wy = speed * (0.6 + 0.8*u(9)) * 2 * math.Pi / 4
+		o.rx = 0.05 + 0.12*u(10)
+		o.ry = 0.05 + 0.12*u(11)
+		o.angle = math.Pi * u(12)
+		o.level = 40 + 190*u(13)
+		o.texSeed = splitmix64(k ^ 0xfeed)
+		if i >= g.Cat.Objects {
+			// Staggered spawn across the segment.
+			frac := float64(i-g.Cat.Objects+1) / float64(spawned+1)
+			o.birth = int(frac * float64(segLen))
+			o.entrance = int(u(14) * 4)
+		}
+	}
+	return objs
+}
+
+// pos returns the object centre at segment offset off (frames), handling
+// edge entrances for spawned objects.
+func (o *object) pos(off int) (x, y float64) {
+	ts := float64(off) / FPS
+	x = o.cx + o.ax*math.Sin(o.wx*ts+o.px)
+	y = o.cy + o.ay*math.Sin(o.wy*ts+o.py)
+	if o.birth > 0 {
+		// Slide in from the entrance edge over ~1 second.
+		prog := float64(off-o.birth) / FPS
+		if prog < 0 {
+			prog = 0
+		}
+		slide := 1 - math.Min(prog, 1) // 1 → fully outside, 0 → on path
+		switch o.entrance {
+		case 0:
+			x -= slide * (x + 0.2)
+		case 1:
+			x += slide * (1.2 - x)
+		case 2:
+			y -= slide * (y + 0.2)
+		default:
+			y += slide * (1.2 - y)
+		}
+	}
+	return x, y
+}
+
+// Render draws frame t at w×h pixels. The result is deterministic in
+// (category, seed, t, w, h) and consistent across resolutions: a frame
+// rendered at 480×270 is (up to sampling) the downscale of the same frame at
+// 1920×1080.
+func (g *Generator) Render(t, w, h int) *vmath.Plane {
+	seg, off := g.segment(t)
+	segKey := splitmix64(g.Seed ^ uint64(seg)*0x9e37)
+	objs := g.objects(seg)
+
+	// Camera pan: slow global translation of the background field.
+	panX := g.Cat.Speed * 0.08 * float64(off) / FPS
+	panY := g.Cat.Speed * 0.03 * float64(off) / FPS
+
+	bgSeed := splitmix64(segKey ^ 0xbac)
+	texAmp := 60 * g.Cat.Texture
+
+	out := vmath.NewPlane(w, h)
+	for py := 0; py < h; py++ {
+		ny := float64(py) / float64(h)
+		for px := 0; px < w; px++ {
+			nx := float64(px) / float64(w)
+			// Background: smooth gradient plus panning fbm texture.
+			v := 70 + 60*nx + 30*ny
+			v += texAmp * (fbm2D(bgSeed, nx*6+panX, ny*6+panY) - 0.5)
+			out.Pix[py*w+px] = float32(v)
+		}
+	}
+
+	// Objects are painted back-to-front in index order.
+	for i := range objs {
+		o := &objs[i]
+		if off < o.birth {
+			continue
+		}
+		ox, oy := o.pos(off)
+		// Bounding box in pixels (inflate a little for the soft edge).
+		x0 := int((ox - o.rx*1.3) * float64(w))
+		x1 := int((ox + o.rx*1.3) * float64(w))
+		y0 := int((oy - o.ry*1.3) * float64(h))
+		y1 := int((oy + o.ry*1.3) * float64(h))
+		if x1 < 0 || y1 < 0 || x0 >= w || y0 >= h {
+			continue
+		}
+		if x0 < 0 {
+			x0 = 0
+		}
+		if y0 < 0 {
+			y0 = 0
+		}
+		if x1 > w-1 {
+			x1 = w - 1
+		}
+		if y1 > h-1 {
+			y1 = h - 1
+		}
+		cosA := math.Cos(o.angle)
+		sinA := math.Sin(o.angle)
+		for py := y0; py <= y1; py++ {
+			ny := float64(py)/float64(h) - oy
+			for px := x0; px <= x1; px++ {
+				nx := float64(px)/float64(w) - ox
+				// Rotate into the ellipse frame.
+				ex := (nx*cosA + ny*sinA) / o.rx
+				ey := (-nx*sinA + ny*cosA) / o.ry
+				d := ex*ex + ey*ey
+				if d >= 1 {
+					continue
+				}
+				// Soft edge over the outer 15% of the radius.
+				alpha := 1.0
+				if d > 0.7 {
+					alpha = (1 - d) / 0.3
+				}
+				tex := texAmp * 0.8 * (fbm2D(o.texSeed, ex*4, ey*4) - 0.5)
+				v := o.level + tex
+				idx := py*w + px
+				out.Pix[idx] = float32(float64(out.Pix[idx])*(1-alpha) + v*alpha)
+			}
+		}
+	}
+
+	// Sensor noise: deterministic per (seed, t, pixel).
+	if g.Cat.Noise > 0 {
+		nSeed := splitmix64(g.Seed ^ uint64(t)*0x6c8e)
+		amp := float32(g.Cat.Noise)
+		for i := range out.Pix {
+			// Approximate Gaussian via sum of two uniforms.
+			u1 := hashUnit(nSeed, uint64(i))
+			u2 := hashUnit(nSeed, uint64(i)^0xffff0000)
+			out.Pix[i] += amp * float32(u1+u2-1) * 2
+		}
+	}
+	return out.Clamp255()
+}
+
+// RenderClip renders n consecutive frames starting at frame start.
+func (g *Generator) RenderClip(start, n, w, h int) *Clip {
+	c := &Clip{Frames: make([]*Frame, n)}
+	for i := 0; i < n; i++ {
+		c.Frames[i] = &Frame{Index: start + i, Y: g.Render(start+i, w, h)}
+	}
+	return c
+}
+
+// ClipSource identifies one dataset clip: a category plus a creator seed.
+type ClipSource struct {
+	Cat  Category
+	Seed int64
+}
+
+// Generator returns the clip's frame generator.
+func (s ClipSource) Generator() *Generator { return NewGenerator(s.Cat, s.Seed) }
+
+// Dataset mirrors the paper's split: five clips per category from distinct
+// "creators" (seeds), four for training and one for testing.
+type Dataset struct {
+	Train []ClipSource
+	Test  []ClipSource
+}
+
+// NewDataset builds the 10-category × 5-seed corpus.
+func NewDataset() *Dataset {
+	d := &Dataset{}
+	for ci, cat := range Categories() {
+		for s := 0; s < 5; s++ {
+			src := ClipSource{Cat: cat, Seed: int64(ci*100 + s + 1)}
+			if s < 4 {
+				d.Train = append(d.Train, src)
+			} else {
+				d.Test = append(d.Test, src)
+			}
+		}
+	}
+	return d
+}

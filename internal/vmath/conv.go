@@ -1,0 +1,149 @@
+package vmath
+
+import "math"
+
+// Convolve applies a general k×k kernel (odd k, row-major) to p with
+// replicate border padding.
+func Convolve(p *Plane, kernel []float32, k int) *Plane {
+	if k%2 == 0 || len(kernel) != k*k {
+		panic("vmath: Convolve needs an odd k×k kernel")
+	}
+	r := k / 2
+	out := NewPlane(p.W, p.H)
+	for y := 0; y < p.H; y++ {
+		for x := 0; x < p.W; x++ {
+			var s float32
+			for j := 0; j < k; j++ {
+				for i := 0; i < k; i++ {
+					s += kernel[j*k+i] * p.AtClamp(x+i-r, y+j-r)
+				}
+			}
+			out.Pix[y*p.W+x] = s
+		}
+	}
+	return out
+}
+
+// ConvolveSeparable applies a separable filter: first the horizontal tap
+// vector kx, then the vertical tap vector ky (both odd length), with
+// replicate padding. This is the fast path used by blurs.
+func ConvolveSeparable(p *Plane, kx, ky []float32) *Plane {
+	if len(kx)%2 == 0 || len(ky)%2 == 0 {
+		panic("vmath: ConvolveSeparable needs odd tap vectors")
+	}
+	rx := len(kx) / 2
+	tmp := NewPlane(p.W, p.H)
+	for y := 0; y < p.H; y++ {
+		for x := 0; x < p.W; x++ {
+			var s float32
+			for i, w := range kx {
+				s += w * p.AtClamp(x+i-rx, y)
+			}
+			tmp.Pix[y*p.W+x] = s
+		}
+	}
+	ry := len(ky) / 2
+	out := NewPlane(p.W, p.H)
+	for y := 0; y < p.H; y++ {
+		for x := 0; x < p.W; x++ {
+			var s float32
+			for j, w := range ky {
+				s += w * tmp.AtClamp(x, y+j-ry)
+			}
+			out.Pix[y*p.W+x] = s
+		}
+	}
+	return out
+}
+
+// GaussianKernel1D returns normalised Gaussian taps for the given sigma.
+// The radius is ceil(3*sigma), clamped to at least 1.
+func GaussianKernel1D(sigma float64) []float32 {
+	if sigma <= 0 {
+		return []float32{1}
+	}
+	r := int(math.Ceil(3 * sigma))
+	if r < 1 {
+		r = 1
+	}
+	taps := make([]float32, 2*r+1)
+	var sum float64
+	for i := -r; i <= r; i++ {
+		v := math.Exp(-float64(i*i) / (2 * sigma * sigma))
+		taps[i+r] = float32(v)
+		sum += v
+	}
+	for i := range taps {
+		taps[i] = float32(float64(taps[i]) / sum)
+	}
+	return taps
+}
+
+// GaussianBlur blurs p with an isotropic Gaussian of the given sigma.
+func GaussianBlur(p *Plane, sigma float64) *Plane {
+	taps := GaussianKernel1D(sigma)
+	return ConvolveSeparable(p, taps, taps)
+}
+
+// BoxBlur blurs p with a (2r+1)×(2r+1) box filter.
+func BoxBlur(p *Plane, r int) *Plane {
+	if r < 1 {
+		return p.Clone()
+	}
+	n := 2*r + 1
+	taps := make([]float32, n)
+	for i := range taps {
+		taps[i] = 1 / float32(n)
+	}
+	return ConvolveSeparable(p, taps, taps)
+}
+
+// SobelX and SobelY compute horizontal and vertical Sobel gradients.
+func SobelX(p *Plane) *Plane {
+	return Convolve(p, []float32{
+		-1, 0, 1,
+		-2, 0, 2,
+		-1, 0, 1,
+	}, 3)
+}
+
+func SobelY(p *Plane) *Plane {
+	return Convolve(p, []float32{
+		-1, -2, -1,
+		0, 0, 0,
+		1, 2, 1,
+	}, 3)
+}
+
+// GradientMagnitude returns sqrt(gx²+gy²) per pixel of the Sobel gradients.
+func GradientMagnitude(p *Plane) *Plane {
+	gx := SobelX(p)
+	gy := SobelY(p)
+	out := NewPlane(p.W, p.H)
+	for i := range out.Pix {
+		out.Pix[i] = float32(math.Hypot(float64(gx.Pix[i]), float64(gy.Pix[i])))
+	}
+	return out
+}
+
+// Laplacian applies the 4-connected Laplacian kernel, used by the
+// enhancement branch for residual sharpening.
+func Laplacian(p *Plane) *Plane {
+	return Convolve(p, []float32{
+		0, 1, 0,
+		1, -4, 1,
+		0, 1, 0,
+	}, 3)
+}
+
+// UnsharpMask sharpens p by amount·(p − blur(p, sigma)), clamping nothing;
+// the caller decides whether to clamp to [0,255].
+func UnsharpMask(p *Plane, sigma, amount float64) *Plane {
+	blur := GaussianBlur(p, sigma)
+	out := NewPlane(p.W, p.H)
+	a := float32(amount)
+	for i := range out.Pix {
+		out.Pix[i] = p.Pix[i] + a*(p.Pix[i]-blur.Pix[i])
+	}
+	return out
+}

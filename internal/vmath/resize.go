@@ -1,0 +1,175 @@
+package vmath
+
+import "math"
+
+// ResizeNearest resamples p to w×h with nearest-neighbour sampling.
+func ResizeNearest(p *Plane, w, h int) *Plane {
+	out := NewPlane(w, h)
+	if w == 0 || h == 0 || p.W == 0 || p.H == 0 {
+		return out
+	}
+	sx := float64(p.W) / float64(w)
+	sy := float64(p.H) / float64(h)
+	for y := 0; y < h; y++ {
+		srcY := int((float64(y) + 0.5) * sy)
+		if srcY >= p.H {
+			srcY = p.H - 1
+		}
+		row := p.Pix[srcY*p.W:]
+		for x := 0; x < w; x++ {
+			srcX := int((float64(x) + 0.5) * sx)
+			if srcX >= p.W {
+				srcX = p.W - 1
+			}
+			out.Pix[y*w+x] = row[srcX]
+		}
+	}
+	return out
+}
+
+// ResizeBilinear resamples p to w×h with bilinear interpolation using
+// pixel-centre alignment (the convention used by video scalers).
+func ResizeBilinear(p *Plane, w, h int) *Plane {
+	out := NewPlane(w, h)
+	if w == 0 || h == 0 || p.W == 0 || p.H == 0 {
+		return out
+	}
+	sx := float64(p.W) / float64(w)
+	sy := float64(p.H) / float64(h)
+	for y := 0; y < h; y++ {
+		fy := (float64(y)+0.5)*sy - 0.5
+		for x := 0; x < w; x++ {
+			fx := (float64(x)+0.5)*sx - 0.5
+			out.Pix[y*w+x] = p.SampleBilinear(float32(fx), float32(fy))
+		}
+	}
+	return out
+}
+
+// cubicWeight is the Catmull-Rom (a = -0.5) cubic convolution kernel.
+func cubicWeight(t float64) float64 {
+	const a = -0.5
+	t = math.Abs(t)
+	switch {
+	case t <= 1:
+		return (a+2)*t*t*t - (a+3)*t*t + 1
+	case t < 2:
+		return a*t*t*t - 5*a*t*t + 8*a*t - 4*a
+	default:
+		return 0
+	}
+}
+
+// ResizeBicubic resamples p to w×h with Catmull-Rom bicubic interpolation.
+// This is the "Bicubic" upsampling baseline used in the SR comparisons.
+func ResizeBicubic(p *Plane, w, h int) *Plane {
+	out := NewPlane(w, h)
+	if w == 0 || h == 0 || p.W == 0 || p.H == 0 {
+		return out
+	}
+	sx := float64(p.W) / float64(w)
+	sy := float64(p.H) / float64(h)
+	for y := 0; y < h; y++ {
+		fy := (float64(y)+0.5)*sy - 0.5
+		y0 := int(math.Floor(fy))
+		dy := fy - float64(y0)
+		var wy [4]float64
+		for j := 0; j < 4; j++ {
+			wy[j] = cubicWeight(float64(j-1) - dy)
+		}
+		for x := 0; x < w; x++ {
+			fx := (float64(x)+0.5)*sx - 0.5
+			x0 := int(math.Floor(fx))
+			dx := fx - float64(x0)
+			var wx [4]float64
+			for i := 0; i < 4; i++ {
+				wx[i] = cubicWeight(float64(i-1) - dx)
+			}
+			var acc, wsum float64
+			for j := 0; j < 4; j++ {
+				for i := 0; i < 4; i++ {
+					wgt := wx[i] * wy[j]
+					acc += wgt * float64(p.AtClamp(x0+i-1, y0+j-1))
+					wsum += wgt
+				}
+			}
+			if wsum != 0 {
+				acc /= wsum
+			}
+			out.Pix[y*w+x] = float32(acc)
+		}
+	}
+	return out
+}
+
+// Downsample2x2 box-averages p by an integer factor in each dimension,
+// producing a (W/fx)×(H/fy) plane. This matches the degradation model used
+// to build the bitrate ladder (area-average downscale).
+func Downsample(p *Plane, fx, fy int) *Plane {
+	if fx < 1 || fy < 1 {
+		panic("vmath: Downsample factor must be >= 1")
+	}
+	w := p.W / fx
+	h := p.H / fy
+	out := NewPlane(w, h)
+	inv := 1.0 / float32(fx*fy)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			var s float32
+			for j := 0; j < fy; j++ {
+				row := p.Pix[(y*fy+j)*p.W+x*fx:]
+				for i := 0; i < fx; i++ {
+					s += row[i]
+				}
+			}
+			out.Pix[y*w+x] = s * inv
+		}
+	}
+	return out
+}
+
+// PixelShuffle rearranges an r²-channel stack of planes (all w×h) into one
+// (w·r)×(h·r) plane, mirroring the sub-pixel convolution upsampler
+// (Shi et al.) the paper uses for its 4× output stage. channels must have
+// length r*r; channel index c maps to sub-pixel offset (c%r, c/r).
+func PixelShuffle(channels []*Plane, r int) *Plane {
+	if len(channels) != r*r {
+		panic("vmath: PixelShuffle needs r*r channels")
+	}
+	w, h := channels[0].W, channels[0].H
+	for _, c := range channels {
+		checkSameSize(channels[0], c)
+	}
+	out := NewPlane(w*r, h*r)
+	for c, ch := range channels {
+		ox := c % r
+		oy := c / r
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				out.Pix[(y*r+oy)*out.W+(x*r+ox)] = ch.Pix[y*w+x]
+			}
+		}
+	}
+	return out
+}
+
+// PixelUnshuffle is the inverse of PixelShuffle: it splits p (whose
+// dimensions must be divisible by r) into r*r planes of size (W/r)×(H/r).
+func PixelUnshuffle(p *Plane, r int) []*Plane {
+	if p.W%r != 0 || p.H%r != 0 {
+		panic("vmath: PixelUnshuffle dimensions not divisible by r")
+	}
+	w, h := p.W/r, p.H/r
+	out := make([]*Plane, r*r)
+	for c := range out {
+		out[c] = NewPlane(w, h)
+		ox := c % r
+		oy := c / r
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				out[c].Pix[y*w+x] = p.Pix[(y*r+oy)*p.W+(x*r+ox)]
+			}
+		}
+	}
+	return out
+}

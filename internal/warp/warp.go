@@ -1,0 +1,55 @@
+// Package warp implements backward warping with bilinear sampling — the
+// motion-compensation step of both the recovery and SR pipelines. On the
+// paper's iPhone deployment this is the custom Metal grid-sample layer run
+// at 270p (§7); here the cost model in internal/device charges the
+// corresponding latencies.
+package warp
+
+import (
+	"fmt"
+
+	"nerve/internal/flow"
+	"nerve/internal/vmath"
+)
+
+// Backward warps src by the flow field: out(x, y) = src(x + U, y + V).
+// The field must match src's dimensions. The returned hole mask is 1 where
+// the sample fell inside src and the flow confidence is adequate, and 0
+// where the warp had no reliable source (out of bounds or low confidence) —
+// the regions the inpainting branch must fill.
+func Backward(src *vmath.Plane, f *flow.Field, confThreshold float32) (out, valid *vmath.Plane) {
+	if src.W != f.W || src.H != f.H {
+		panic(fmt.Sprintf("warp: plane %dx%d vs field %dx%d", src.W, src.H, f.W, f.H))
+	}
+	out = vmath.NewPlane(src.W, src.H)
+	valid = vmath.NewPlane(src.W, src.H)
+	for y := 0; y < src.H; y++ {
+		for x := 0; x < src.W; x++ {
+			i := y*src.W + x
+			sx := float32(x) + f.U[i]
+			sy := float32(y) + f.V[i]
+			out.Pix[i] = src.SampleBilinear(sx, sy)
+			inBounds := sx >= -0.5 && sy >= -0.5 && sx <= float32(src.W)-0.5 && sy <= float32(src.H)-0.5
+			if inBounds && f.Conf[i] >= confThreshold {
+				valid.Pix[i] = 1
+			}
+		}
+	}
+	return out, valid
+}
+
+// BackwardPlane warps src by explicit per-pixel offset planes (u, v) with
+// no confidence handling; used by tests and simple callers.
+func BackwardPlane(src, u, v *vmath.Plane) *vmath.Plane {
+	if src.W != u.W || src.H != u.H || src.W != v.W || src.H != v.H {
+		panic("warp: offset plane size mismatch")
+	}
+	out := vmath.NewPlane(src.W, src.H)
+	for y := 0; y < src.H; y++ {
+		for x := 0; x < src.W; x++ {
+			i := y*src.W + x
+			out.Pix[i] = src.SampleBilinear(float32(x)+u.Pix[i], float32(y)+v.Pix[i])
+		}
+	}
+	return out
+}
