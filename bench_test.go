@@ -11,6 +11,8 @@ package nerve
 import (
 	"io"
 	"testing"
+
+	"nerve/internal/par"
 )
 
 // benchOpts is the reduced-scale configuration used by the benchmarks.
@@ -45,7 +47,17 @@ func BenchmarkFig4aRecoveryDecay(b *testing.B) { runExp(b, "fig4a") }
 func BenchmarkFig4bRateQuality(b *testing.B) { runExp(b, "fig4b") }
 
 // BenchmarkFig7Recovery regenerates Fig. 7: full-frame prediction quality.
+// All per-pixel kernels and the harness fan-out run on the shared worker
+// pool (internal/par) at its default size.
 func BenchmarkFig7Recovery(b *testing.B) { runExp(b, "fig7") }
+
+// BenchmarkFig7RecoverySequential is the same experiment with the pool
+// pinned to one worker — the sequential baseline the CI bench artifact
+// records alongside BenchmarkFig7Recovery to track the parallel speedup.
+func BenchmarkFig7RecoverySequential(b *testing.B) {
+	defer par.SetWorkers(1)()
+	runExp(b, "fig7")
+}
 
 // BenchmarkFig8PartialRecovery regenerates Fig. 8: partial recovery.
 func BenchmarkFig8PartialRecovery(b *testing.B) { runExp(b, "fig8") }

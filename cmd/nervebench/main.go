@@ -7,6 +7,7 @@
 //	nervebench -all                 # everything (DESIGN.md §3)
 //	nervebench -exp fig6 -out dir   # write PGM artefacts
 //	nervebench -quick               # reduced workload
+//	nervebench -workers 1 -exp fig7 # pin the worker pool (also: NERVE_WORKERS)
 package main
 
 import (
@@ -15,18 +16,23 @@ import (
 	"os"
 
 	"nerve"
+	"nerve/internal/par"
 )
 
 func main() {
 	var (
-		list  = flag.Bool("list", false, "list experiment IDs and exit")
-		exp   = flag.String("exp", "", "experiment ID to run (see -list)")
-		all   = flag.Bool("all", false, "run every experiment")
-		quick = flag.Bool("quick", false, "reduced workload (CI-scale)")
-		seed  = flag.Int64("seed", 1, "random seed")
-		out   = flag.String("out", "", "directory for visualisation artefacts")
+		list    = flag.Bool("list", false, "list experiment IDs and exit")
+		exp     = flag.String("exp", "", "experiment ID to run (see -list)")
+		all     = flag.Bool("all", false, "run every experiment")
+		quick   = flag.Bool("quick", false, "reduced workload (CI-scale)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		out     = flag.String("out", "", "directory for visualisation artefacts")
+		workers = flag.Int("workers", 0, "worker pool size; 0 = NERVE_WORKERS env or GOMAXPROCS")
 	)
 	flag.Parse()
+	if *workers > 0 {
+		par.SetWorkers(*workers)
+	}
 
 	opts := nerve.ExperimentOptions{Quick: *quick, Seed: *seed, OutDir: *out}
 	switch {

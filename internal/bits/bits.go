@@ -65,6 +65,24 @@ func (w *Writer) WriteSE(v int32) {
 	w.WriteUE(u)
 }
 
+// Append appends the full bit content of other — including any partial
+// final byte — to w, exactly as if other's bits had been written to w
+// directly. other is not modified. This is what lets independently encoded
+// bitstream fragments (e.g. macroblock rows encoded in parallel) be joined
+// into a stream bit-identical to sequential encoding.
+func (w *Writer) Append(other *Writer) {
+	if w.nCur == 0 {
+		w.buf = append(w.buf, other.buf...)
+	} else {
+		for _, b := range other.buf {
+			w.WriteBits(uint64(b), 8)
+		}
+	}
+	if other.nCur > 0 {
+		w.WriteBits(uint64(other.cur), other.nCur)
+	}
+}
+
 // Len returns the number of complete bytes written so far (excluding any
 // partial final byte).
 func (w *Writer) Len() int { return len(w.buf) }

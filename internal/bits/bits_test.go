@@ -197,3 +197,70 @@ func TestWriteBitsPanics(t *testing.T) {
 	var w Writer
 	w.WriteBits(0, 65)
 }
+
+// TestAppendBitExact checks that writing a bit sequence through several
+// fragment writers joined with Append yields exactly the stream a single
+// writer produces, for every split point and fragment alignment.
+func TestAppendBitExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	type op struct {
+		v uint64
+		n uint
+	}
+	ops := make([]op, 200)
+	for i := range ops {
+		n := uint(rng.Intn(24) + 1)
+		ops[i] = op{v: rng.Uint64() & (1<<n - 1), n: n}
+	}
+	var ref Writer
+	for _, o := range ops {
+		ref.WriteBits(o.v, o.n)
+	}
+	want := ref.Bytes()
+
+	for trial := 0; trial < 50; trial++ {
+		// Split the ops into random fragments, each written alone.
+		var frags []*Writer
+		cur := &Writer{}
+		for i, o := range ops {
+			cur.WriteBits(o.v, o.n)
+			if rng.Intn(4) == 0 && i != len(ops)-1 {
+				frags = append(frags, cur)
+				cur = &Writer{}
+			}
+		}
+		frags = append(frags, cur)
+
+		var joined Writer
+		for _, f := range frags {
+			joined.Append(f)
+		}
+		got := joined.Bytes()
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: joined %d bytes, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: byte %d = %#x, want %#x", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestAppendDoesNotMutateSource checks Append leaves the fragment reusable.
+func TestAppendDoesNotMutateSource(t *testing.T) {
+	var frag Writer
+	frag.WriteBits(0b101, 3)
+	var a, b Writer
+	a.WriteBit(1)
+	a.Append(&frag)
+	b.WriteBit(1)
+	b.Append(&frag)
+	ab, bb := a.Bytes(), b.Bytes()
+	if len(ab) != len(bb) || ab[0] != bb[0] {
+		t.Fatalf("Append mutated its source: %x vs %x", ab, bb)
+	}
+	if frag.BitLen() != 3 {
+		t.Fatalf("fragment BitLen=%d after Append, want 3", frag.BitLen())
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"nerve/internal/bits"
+	"nerve/internal/par"
 	"nerve/internal/vmath"
 )
 
@@ -187,9 +188,23 @@ func clampQ(q float32) float32 {
 }
 
 // encodeAttempt performs one encoding pass at quantiser q.
+//
+// Macroblock rows are mutually independent by construction — the MV
+// predictor resets at every row so slices stay independently decodable,
+// prediction reads only the previous frame's reconstruction (e.ref), and a
+// row reconstructs only its own pixel band — so pass 1 encodes every row
+// concurrently on the shared pool, each into a private bit writer. Pass 2
+// concatenates the row bitstreams in order and cuts slice boundaries at the
+// same byte thresholds the sequential encoder used, producing a
+// bit-identical stream for any pool size.
 func (e *Encoder) encodeAttempt(frame *vmath.Plane, ftype FrameType, q float32) *EncodedFrame {
 	recon := vmath.NewPlane(e.cfg.W, e.cfg.H)
 	ef := &EncodedFrame{Type: ftype, W: e.cfg.W, H: e.cfg.H, Recon: recon}
+
+	rowW := make([]bits.Writer, e.mbRows)
+	par.For(e.mbRows, func(row int) {
+		e.encodeMBRow(frame, recon, ftype, q, row, &rowW[row])
+	})
 
 	var w *bits.Writer
 	sliceStartRow := 0
@@ -212,7 +227,7 @@ func (e *Encoder) encodeAttempt(frame *vmath.Plane, ftype FrameType, q float32) 
 			w = &bits.Writer{}
 			sliceStartRow = row
 		}
-		e.encodeMBRow(frame, recon, ftype, q, row, w)
+		w.Append(&rowW[row])
 		if w.Len() >= e.cfg.PacketPayload {
 			flushSlice(row + 1)
 		}

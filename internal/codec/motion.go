@@ -1,6 +1,9 @@
 package codec
 
-import "nerve/internal/vmath"
+import (
+	"nerve/internal/par"
+	"nerve/internal/vmath"
+)
 
 // MBSize is the macroblock size in pixels.
 const MBSize = 16
@@ -93,4 +96,27 @@ func searchMV(cur, ref *vmath.Plane, cx, cy int, pred MV, maxRange int) (MV, int
 		}
 	}
 	return best, bestSAD
+}
+
+// SearchFrame motion-searches every macroblock of cur against ref and
+// returns the vectors in macroblock raster order. Rows run concurrently on
+// the shared pool — the same row-of-macroblocks granularity the encoder
+// uses — and within a row each search is seeded by the previous block's
+// vector, so the result is identical for any pool size.
+func SearchFrame(cur, ref *vmath.Plane, maxRange int) []MV {
+	if cur.W != ref.W || cur.H != ref.H {
+		panic("codec: SearchFrame plane size mismatch")
+	}
+	mbRows := (cur.H + MBSize - 1) / MBSize
+	mbCols := (cur.W + MBSize - 1) / MBSize
+	mvs := make([]MV, mbRows*mbCols)
+	par.For(mbRows, func(row int) {
+		pred := MV{}
+		for col := 0; col < mbCols; col++ {
+			mv, _ := searchMV(cur, ref, col*MBSize, row*MBSize, pred, maxRange)
+			mvs[row*mbCols+col] = mv
+			pred = mv
+		}
+	})
+	return mvs
 }

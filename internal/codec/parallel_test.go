@@ -1,0 +1,130 @@
+package codec
+
+import (
+	"bytes"
+	"testing"
+
+	"nerve/internal/par"
+	"nerve/internal/video"
+	"nerve/internal/vmath"
+)
+
+// benchClip renders n frames at w×h for benchmarks.
+func benchClip(b *testing.B, n, w, h int) []*vmath.Plane {
+	b.Helper()
+	g := video.NewGenerator(video.Categories()[0], 3)
+	frames := make([]*vmath.Plane, n)
+	for i := range frames {
+		frames[i] = g.Render(i, w, h)
+	}
+	return frames
+}
+
+// encodeClip encodes the clip with a fresh encoder at the given pool size
+// and returns every frame's slices and reconstruction.
+func encodeClip(frames []*vmath.Plane, cfg Config, workers int) []*EncodedFrame {
+	defer par.SetWorkers(workers)()
+	enc := NewEncoder(cfg)
+	out := make([]*EncodedFrame, len(frames))
+	for i, f := range frames {
+		out[i] = enc.Encode(f)
+	}
+	return out
+}
+
+// TestEncodeParallelBitExact is the codec differential test of the
+// concurrency model: encoding with a single-worker pool and with a large
+// pool must produce byte-identical bitstreams and reconstructions. Rate
+// control feeds each frame's size back into the next quantiser, so any
+// divergence would compound and fail loudly.
+func TestEncodeParallelBitExact(t *testing.T) {
+	frames := testClip(t, 12)
+	cfg := Config{W: 160, H: 96, GOP: 5, TargetBitrate: 400e3}
+
+	seq := encodeClip(frames, cfg, 1)
+	for _, workers := range []int{2, 8} {
+		got := encodeClip(frames, cfg, workers)
+		for i := range seq {
+			a, b := seq[i], got[i]
+			if a.Type != b.Type || len(a.Slices) != len(b.Slices) {
+				t.Fatalf("workers=%d frame %d: structure %v/%d slices vs %v/%d slices",
+					workers, i, a.Type, len(a.Slices), b.Type, len(b.Slices))
+			}
+			for si := range a.Slices {
+				sa, sb := &a.Slices[si], &b.Slices[si]
+				if sa.MBRowStart != sb.MBRowStart || sa.MBRowCount != sb.MBRowCount || sa.Q != sb.Q {
+					t.Fatalf("workers=%d frame %d slice %d: header mismatch", workers, i, si)
+				}
+				if !bytes.Equal(sa.Data, sb.Data) {
+					t.Fatalf("workers=%d frame %d slice %d: bitstream differs", workers, i, si)
+				}
+			}
+			for pi := range a.Recon.Pix {
+				if a.Recon.Pix[pi] != b.Recon.Pix[pi] {
+					t.Fatalf("workers=%d frame %d: recon differs at pixel %d", workers, i, pi)
+				}
+			}
+		}
+	}
+}
+
+// TestEncodeParallelDecodes checks the parallel encoder's output through
+// the decoder: a full decode must reproduce the encoder-side recon exactly.
+func TestEncodeParallelDecodes(t *testing.T) {
+	defer par.SetWorkers(4)()
+	frames := testClip(t, 6)
+	cfg := Config{W: 160, H: 96, GOP: 3, TargetBitrate: 400e3}
+	enc := NewEncoder(cfg)
+	dec := NewDecoder(cfg)
+	for i, f := range frames {
+		ef := enc.Encode(f)
+		res, err := dec.Decode(ef, nil)
+		if err != nil {
+			t.Fatalf("frame %d: decode: %v", i, err)
+		}
+		if !res.Complete() {
+			t.Fatalf("frame %d: incomplete decode of full slice set", i)
+		}
+		for pi := range res.Frame.Pix {
+			if res.Frame.Pix[pi] != ef.Recon.Pix[pi] {
+				t.Fatalf("frame %d: decode differs from recon at pixel %d", i, pi)
+			}
+		}
+	}
+}
+
+// TestSearchFrameParallelBitExact checks full-frame motion search returns
+// identical vectors for any pool size.
+func TestSearchFrameParallelBitExact(t *testing.T) {
+	frames := testClip(t, 2)
+
+	restore := par.SetWorkers(1)
+	want := SearchFrame(frames[1], frames[0], 15)
+	restore()
+	for _, workers := range []int{2, 8} {
+		restore := par.SetWorkers(workers)
+		got := SearchFrame(frames[1], frames[0], 15)
+		restore()
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: mv %d = %v, want %v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func benchMotionSearch(b *testing.B, workers int) {
+	defer par.SetWorkers(workers)()
+	frames := benchClip(b, 2, 320, 180)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SearchFrame(frames[1], frames[0], 15)
+	}
+}
+
+// BenchmarkMotionSearch is the sequential baseline (pool pinned to 1).
+func BenchmarkMotionSearch(b *testing.B) { benchMotionSearch(b, 1) }
+
+// BenchmarkMotionSearchParallel runs the same search on the full pool; run
+// with -cpu 1,4 to see the scaling.
+func BenchmarkMotionSearchParallel(b *testing.B) { benchMotionSearch(b, 0) }

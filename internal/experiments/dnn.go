@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 	"math"
-	"sync"
 
 	"nerve/internal/codec"
 	"nerve/internal/device"
@@ -178,22 +177,18 @@ func figChains(opts Options, id, title string, partFrac float64) (*Series, *Seri
 			}
 		}
 	}
-	pAcc := make([]float64, len(modes)*len(horizons))
-	sAcc := make([]float64, len(modes)*len(horizons))
-	var mu sync.Mutex
-	parallelFor(len(cells), func(i int) {
+	// Workers write per-cell slots; the reduction over clips happens
+	// sequentially afterwards so summation order — and thus the result —
+	// is independent of worker scheduling.
+	pCell := make([]float64, len(cells))
+	sCell := make([]float64, len(cells))
+	mustParallelFor(len(cells), func(i int) {
 		c := cells[i]
-		p, sv, _ := runChain(clips[c.ci], modes[c.mi], 40+10*c.ci, horizons[c.hi], w, h, partFrac)
-		mu.Lock()
-		pAcc[c.mi*len(horizons)+c.hi] += p / float64(len(clips))
-		sAcc[c.mi*len(horizons)+c.hi] += sv / float64(len(clips))
-		mu.Unlock()
+		pCell[i], sCell[i], _ = runChain(clips[c.ci], modes[c.mi], 40+10*c.ci, horizons[c.hi], w, h, partFrac)
 	})
-	for mi := range modes {
-		for hi := range horizons {
-			psnr.Y[mi][hi] = pAcc[mi*len(horizons)+hi]
-			ssim.Y[mi][hi] = sAcc[mi*len(horizons)+hi]
-		}
+	for i, c := range cells {
+		psnr.Y[c.mi][c.hi] += pCell[i] / float64(len(clips))
+		ssim.Y[c.mi][c.hi] += sCell[i] / float64(len(clips))
 	}
 	return psnr, ssim
 }

@@ -1,39 +1,24 @@
 package experiments
 
-import (
-	"runtime"
-	"sync"
-)
+import "nerve/internal/par"
 
-// parallelFor runs fn(i) for i in [0, n) across GOMAXPROCS workers. Every
-// harness call is a pure function of its inputs (all randomness is seeded
-// per call), so fan-out preserves determinism; callers write results into
-// per-index slots.
-func parallelFor(n int, fn func(i int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				fn(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
+// parallelFor runs fn(i) for i in [0, n) on the shared worker pool
+// (internal/par) and returns the error from the lowest-indexed failing
+// call. Unlike the previous ad-hoc WaitGroup fan-out, worker errors are
+// propagated instead of dropped, worker panics re-raise on the caller, and
+// total concurrency is bounded globally — harness cells that themselves
+// run parallel kernels (codec, SR, warp) no longer oversubscribe the
+// machine.
+//
+// Every harness call is a pure function of its inputs (all randomness is
+// seeded per call), so fan-out preserves determinism; callers write
+// results into per-index slots.
+func parallelFor(n int, fn func(i int) error) error {
+	return par.ForErr(n, fn)
+}
+
+// mustParallelFor is parallelFor for workers that cannot fail. Worker
+// panics still re-raise on the caller's goroutine via the pool.
+func mustParallelFor(n int, fn func(i int)) {
+	par.For(n, fn)
 }

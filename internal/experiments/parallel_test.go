@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"nerve/internal/par"
+)
+
+// TestParallelForPropagatesFirstError checks the harness fan-out no longer
+// drops worker errors: the lowest-indexed failure comes back to the caller
+// regardless of pool size or scheduling.
+func TestParallelForPropagatesFirstError(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		restore := par.SetWorkers(workers)
+		err := parallelFor(64, func(i int) error {
+			if i%10 == 3 {
+				return fmt.Errorf("cell %d failed", i)
+			}
+			return nil
+		})
+		restore()
+		if err == nil || err.Error() != "cell 3 failed" {
+			t.Fatalf("workers=%d: got %v, want first (lowest-index) error", workers, err)
+		}
+	}
+	if err := parallelFor(64, func(int) error { return nil }); err != nil {
+		t.Fatalf("unexpected error from clean run: %v", err)
+	}
+}
+
+// TestMustParallelForPropagatesPanic checks a worker panic in the
+// infallible fan-out re-raises on the caller instead of crashing the
+// process from a bare goroutine (the failure mode of the old ad-hoc
+// WaitGroup fan-out).
+func TestMustParallelForPropagatesPanic(t *testing.T) {
+	defer par.SetWorkers(4)()
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("mustParallelFor swallowed the panic")
+		}
+		if s := fmt.Sprint(v); !strings.Contains(s, "broken cell") {
+			t.Fatalf("panic %q does not carry the original value", s)
+		}
+	}()
+	mustParallelFor(16, func(i int) {
+		if i == 2 {
+			panic(errors.New("broken cell"))
+		}
+	})
+}

@@ -40,7 +40,7 @@ func runSchemes(opts Options, schemes []sim.Scheme, id, title string) (*Table, m
 	// within a scheme instead.
 	for si, sc := range schemes {
 		sc := sc
-		parallelFor(len(nets), func(ni int) {
+		mustParallelFor(len(nets), func(ni int) {
 			nt := nets[ni]
 			traces := tracesFor(opts, nt)
 			var q float64

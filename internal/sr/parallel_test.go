@@ -1,0 +1,87 @@
+package sr
+
+import (
+	"testing"
+
+	"nerve/internal/par"
+	"nerve/internal/video"
+	"nerve/internal/vmath"
+)
+
+// upscaleClip runs a fresh SuperResolver over the clip at the given pool
+// size, exercising the temporal-fusion path from the second frame on.
+func upscaleClip(lr []*vmath.Plane, workers int) []*vmath.Plane {
+	defer par.SetWorkers(workers)()
+	s := New(Config{OutW: gtW, OutH: gtH})
+	out := make([]*vmath.Plane, len(lr))
+	for i, f := range lr {
+		out[i] = s.Upscale(f)
+	}
+	return out
+}
+
+// TestUpscaleParallelBitExact is the SR differential test of the
+// concurrency model: the full stateful Upscale stream — bicubic base,
+// flow-aligned temporal fusion, back-projection, detail head — must be
+// byte-identical for any pool size. Temporal state feeds forward, so a
+// single diverging pixel would compound across the clip and fail loudly.
+func TestUpscaleParallelBitExact(t *testing.T) {
+	_, lr := clipPair(video.Categories()[0], 5, 10, 6, lrW, lrH)
+
+	want := upscaleClip(lr, 1)
+	for _, workers := range []int{2, 8} {
+		got := upscaleClip(lr, workers)
+		for fi := range want {
+			for i := range want[fi].Pix {
+				if got[fi].Pix[i] != want[fi].Pix[i] {
+					t.Fatalf("workers=%d frame %d: differs at pixel %d: %v vs %v",
+						workers, fi, i, got[fi].Pix[i], want[fi].Pix[i])
+				}
+			}
+		}
+	}
+}
+
+// TestUpscaleBaselinesParallelBitExact covers the stateless Fig. 10/11
+// baselines.
+func TestUpscaleBaselinesParallelBitExact(t *testing.T) {
+	_, lr := clipPair(video.Categories()[1], 6, 0, 1, lrW, lrH)
+
+	restore := par.SetWorkers(1)
+	wantBil := UpscaleBilinear(lr[0], gtW, gtH)
+	wantBic := UpscaleBicubic(lr[0], gtW, gtH)
+	restore()
+	for _, workers := range []int{2, 8} {
+		restore := par.SetWorkers(workers)
+		gotBil := UpscaleBilinear(lr[0], gtW, gtH)
+		gotBic := UpscaleBicubic(lr[0], gtW, gtH)
+		restore()
+		for i := range wantBil.Pix {
+			if gotBil.Pix[i] != wantBil.Pix[i] {
+				t.Fatalf("workers=%d: bilinear differs at pixel %d", workers, i)
+			}
+			if gotBic.Pix[i] != wantBic.Pix[i] {
+				t.Fatalf("workers=%d: bicubic differs at pixel %d", workers, i)
+			}
+		}
+	}
+}
+
+func benchUpscale(b *testing.B, workers int) {
+	defer par.SetWorkers(workers)()
+	g := video.NewGenerator(video.Categories()[0], 1)
+	lr := vmath.ResizeBilinear(g.Render(0, 480, 270), 120, 68)
+	s := New(Config{OutW: 480, OutH: 270})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Upscale(lr)
+	}
+}
+
+// BenchmarkUpscale is the sequential baseline (pool pinned to 1).
+func BenchmarkUpscale(b *testing.B) { benchUpscale(b, 1) }
+
+// BenchmarkUpscaleParallel runs the same upscale on the full pool; run with
+// -cpu 1,4 to see the scaling. BenchmarkUpscale4x (sr_test.go) also uses
+// the full pool.
+func BenchmarkUpscaleParallel(b *testing.B) { benchUpscale(b, 0) }

@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"nerve/internal/flow"
+	"nerve/internal/par"
 	"nerve/internal/vmath"
 	"nerve/internal/warp"
 )
@@ -118,10 +119,14 @@ func (s *SuperResolver) Upscale(lr *vmath.Plane) *vmath.Plane {
 		warpedHR, validHR := warp.Backward(s.prevHR, fHR, 0.3)
 		tw := cfg.TemporalWeight
 		fused := out.Clone()
-		for i := range fused.Pix {
-			w := tw * fHR.Conf[i] * validHR.Pix[i]
-			fused.Pix[i] += w * (warpedHR.Pix[i] - fused.Pix[i])
-		}
+		// Per-pixel blend with no cross-pixel dependency: row bands run on
+		// the shared pool without changing the result.
+		par.ForRows(fused.H, func(y0, y1 int) {
+			for i := y0 * fused.W; i < y1*fused.W; i++ {
+				w := tw * fHR.Conf[i] * validHR.Pix[i]
+				fused.Pix[i] += w * (warpedHR.Pix[i] - fused.Pix[i])
+			}
+		})
 		out = fused
 	}
 

@@ -1,58 +1,71 @@
 package vmath
 
-import "math"
+import (
+	"math"
+
+	"nerve/internal/par"
+)
 
 // Convolve applies a general k×k kernel (odd k, row-major) to p with
-// replicate border padding.
+// replicate border padding. Output rows are independent, so row bands run
+// on the shared pool with pool-size-independent results.
 func Convolve(p *Plane, kernel []float32, k int) *Plane {
 	if k%2 == 0 || len(kernel) != k*k {
 		panic("vmath: Convolve needs an odd k×k kernel")
 	}
 	r := k / 2
 	out := NewPlane(p.W, p.H)
-	for y := 0; y < p.H; y++ {
-		for x := 0; x < p.W; x++ {
-			var s float32
-			for j := 0; j < k; j++ {
-				for i := 0; i < k; i++ {
-					s += kernel[j*k+i] * p.AtClamp(x+i-r, y+j-r)
+	par.ForRows(p.H, func(y0, y1 int) {
+		for y := y0; y < y1; y++ {
+			for x := 0; x < p.W; x++ {
+				var s float32
+				for j := 0; j < k; j++ {
+					for i := 0; i < k; i++ {
+						s += kernel[j*k+i] * p.AtClamp(x+i-r, y+j-r)
+					}
 				}
+				out.Pix[y*p.W+x] = s
 			}
-			out.Pix[y*p.W+x] = s
 		}
-	}
+	})
 	return out
 }
 
 // ConvolveSeparable applies a separable filter: first the horizontal tap
 // vector kx, then the vertical tap vector ky (both odd length), with
-// replicate padding. This is the fast path used by blurs.
+// replicate padding. This is the fast path used by blurs. Both passes
+// parallelise over row bands; the vertical pass reads the fully written
+// horizontal intermediate, which the pool's completion barrier guarantees.
 func ConvolveSeparable(p *Plane, kx, ky []float32) *Plane {
 	if len(kx)%2 == 0 || len(ky)%2 == 0 {
 		panic("vmath: ConvolveSeparable needs odd tap vectors")
 	}
 	rx := len(kx) / 2
 	tmp := NewPlane(p.W, p.H)
-	for y := 0; y < p.H; y++ {
-		for x := 0; x < p.W; x++ {
-			var s float32
-			for i, w := range kx {
-				s += w * p.AtClamp(x+i-rx, y)
+	par.ForRows(p.H, func(y0, y1 int) {
+		for y := y0; y < y1; y++ {
+			for x := 0; x < p.W; x++ {
+				var s float32
+				for i, w := range kx {
+					s += w * p.AtClamp(x+i-rx, y)
+				}
+				tmp.Pix[y*p.W+x] = s
 			}
-			tmp.Pix[y*p.W+x] = s
 		}
-	}
+	})
 	ry := len(ky) / 2
 	out := NewPlane(p.W, p.H)
-	for y := 0; y < p.H; y++ {
-		for x := 0; x < p.W; x++ {
-			var s float32
-			for j, w := range ky {
-				s += w * tmp.AtClamp(x, y+j-ry)
+	par.ForRows(p.H, func(y0, y1 int) {
+		for y := y0; y < y1; y++ {
+			for x := 0; x < p.W; x++ {
+				var s float32
+				for j, w := range ky {
+					s += w * tmp.AtClamp(x, y+j-ry)
+				}
+				out.Pix[y*p.W+x] = s
 			}
-			out.Pix[y*p.W+x] = s
 		}
-	}
+	})
 	return out
 }
 

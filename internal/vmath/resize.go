@@ -1,6 +1,15 @@
 package vmath
 
-import "math"
+import (
+	"math"
+
+	"nerve/internal/par"
+)
+
+// Every resampler below parallelises over output-row bands on the shared
+// worker pool (internal/par). Each output pixel is a pure function of the
+// source plane and its own coordinates — no accumulation crosses rows — so
+// the result is bit-identical for any pool size.
 
 // ResizeNearest resamples p to w×h with nearest-neighbour sampling.
 func ResizeNearest(p *Plane, w, h int) *Plane {
@@ -10,20 +19,22 @@ func ResizeNearest(p *Plane, w, h int) *Plane {
 	}
 	sx := float64(p.W) / float64(w)
 	sy := float64(p.H) / float64(h)
-	for y := 0; y < h; y++ {
-		srcY := int((float64(y) + 0.5) * sy)
-		if srcY >= p.H {
-			srcY = p.H - 1
-		}
-		row := p.Pix[srcY*p.W:]
-		for x := 0; x < w; x++ {
-			srcX := int((float64(x) + 0.5) * sx)
-			if srcX >= p.W {
-				srcX = p.W - 1
+	par.ForRows(h, func(y0, y1 int) {
+		for y := y0; y < y1; y++ {
+			srcY := int((float64(y) + 0.5) * sy)
+			if srcY >= p.H {
+				srcY = p.H - 1
 			}
-			out.Pix[y*w+x] = row[srcX]
+			row := p.Pix[srcY*p.W:]
+			for x := 0; x < w; x++ {
+				srcX := int((float64(x) + 0.5) * sx)
+				if srcX >= p.W {
+					srcX = p.W - 1
+				}
+				out.Pix[y*w+x] = row[srcX]
+			}
 		}
-	}
+	})
 	return out
 }
 
@@ -36,13 +47,15 @@ func ResizeBilinear(p *Plane, w, h int) *Plane {
 	}
 	sx := float64(p.W) / float64(w)
 	sy := float64(p.H) / float64(h)
-	for y := 0; y < h; y++ {
-		fy := (float64(y)+0.5)*sy - 0.5
-		for x := 0; x < w; x++ {
-			fx := (float64(x)+0.5)*sx - 0.5
-			out.Pix[y*w+x] = p.SampleBilinear(float32(fx), float32(fy))
+	par.ForRows(h, func(y0, y1 int) {
+		for y := y0; y < y1; y++ {
+			fy := (float64(y)+0.5)*sy - 0.5
+			for x := 0; x < w; x++ {
+				fx := (float64(x)+0.5)*sx - 0.5
+				out.Pix[y*w+x] = p.SampleBilinear(float32(fx), float32(fy))
+			}
 		}
-	}
+	})
 	return out
 }
 
@@ -69,40 +82,42 @@ func ResizeBicubic(p *Plane, w, h int) *Plane {
 	}
 	sx := float64(p.W) / float64(w)
 	sy := float64(p.H) / float64(h)
-	for y := 0; y < h; y++ {
-		fy := (float64(y)+0.5)*sy - 0.5
-		y0 := int(math.Floor(fy))
-		dy := fy - float64(y0)
-		var wy [4]float64
-		for j := 0; j < 4; j++ {
-			wy[j] = cubicWeight(float64(j-1) - dy)
-		}
-		for x := 0; x < w; x++ {
-			fx := (float64(x)+0.5)*sx - 0.5
-			x0 := int(math.Floor(fx))
-			dx := fx - float64(x0)
-			var wx [4]float64
-			for i := 0; i < 4; i++ {
-				wx[i] = cubicWeight(float64(i-1) - dx)
-			}
-			var acc, wsum float64
+	par.ForRows(h, func(yb0, yb1 int) {
+		for y := yb0; y < yb1; y++ {
+			fy := (float64(y)+0.5)*sy - 0.5
+			y0 := int(math.Floor(fy))
+			dy := fy - float64(y0)
+			var wy [4]float64
 			for j := 0; j < 4; j++ {
+				wy[j] = cubicWeight(float64(j-1) - dy)
+			}
+			for x := 0; x < w; x++ {
+				fx := (float64(x)+0.5)*sx - 0.5
+				x0 := int(math.Floor(fx))
+				dx := fx - float64(x0)
+				var wx [4]float64
 				for i := 0; i < 4; i++ {
-					wgt := wx[i] * wy[j]
-					acc += wgt * float64(p.AtClamp(x0+i-1, y0+j-1))
-					wsum += wgt
+					wx[i] = cubicWeight(float64(i-1) - dx)
 				}
+				var acc, wsum float64
+				for j := 0; j < 4; j++ {
+					for i := 0; i < 4; i++ {
+						wgt := wx[i] * wy[j]
+						acc += wgt * float64(p.AtClamp(x0+i-1, y0+j-1))
+						wsum += wgt
+					}
+				}
+				if wsum != 0 {
+					acc /= wsum
+				}
+				out.Pix[y*w+x] = float32(acc)
 			}
-			if wsum != 0 {
-				acc /= wsum
-			}
-			out.Pix[y*w+x] = float32(acc)
 		}
-	}
+	})
 	return out
 }
 
-// Downsample2x2 box-averages p by an integer factor in each dimension,
+// Downsample box-averages p by an integer factor in each dimension,
 // producing a (W/fx)×(H/fy) plane. This matches the degradation model used
 // to build the bitrate ladder (area-average downscale).
 func Downsample(p *Plane, fx, fy int) *Plane {
@@ -113,18 +128,20 @@ func Downsample(p *Plane, fx, fy int) *Plane {
 	h := p.H / fy
 	out := NewPlane(w, h)
 	inv := 1.0 / float32(fx*fy)
-	for y := 0; y < h; y++ {
-		for x := 0; x < w; x++ {
-			var s float32
-			for j := 0; j < fy; j++ {
-				row := p.Pix[(y*fy+j)*p.W+x*fx:]
-				for i := 0; i < fx; i++ {
-					s += row[i]
+	par.ForRows(h, func(y0, y1 int) {
+		for y := y0; y < y1; y++ {
+			for x := 0; x < w; x++ {
+				var s float32
+				for j := 0; j < fy; j++ {
+					row := p.Pix[(y*fy+j)*p.W+x*fx:]
+					for i := 0; i < fx; i++ {
+						s += row[i]
+					}
 				}
+				out.Pix[y*w+x] = s * inv
 			}
-			out.Pix[y*w+x] = s * inv
 		}
-	}
+	})
 	return out
 }
 

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"nerve/internal/flow"
+	"nerve/internal/par"
 	"nerve/internal/vmath"
 )
 
@@ -23,18 +24,22 @@ func Backward(src *vmath.Plane, f *flow.Field, confThreshold float32) (out, vali
 	}
 	out = vmath.NewPlane(src.W, src.H)
 	valid = vmath.NewPlane(src.W, src.H)
-	for y := 0; y < src.H; y++ {
-		for x := 0; x < src.W; x++ {
-			i := y*src.W + x
-			sx := float32(x) + f.U[i]
-			sy := float32(y) + f.V[i]
-			out.Pix[i] = src.SampleBilinear(sx, sy)
-			inBounds := sx >= -0.5 && sy >= -0.5 && sx <= float32(src.W)-0.5 && sy <= float32(src.H)-0.5
-			if inBounds && f.Conf[i] >= confThreshold {
-				valid.Pix[i] = 1
+	// Each output pixel reads only src and the flow field, so row bands run
+	// on the pool with pool-size-independent results.
+	par.ForRows(src.H, func(y0, y1 int) {
+		for y := y0; y < y1; y++ {
+			for x := 0; x < src.W; x++ {
+				i := y*src.W + x
+				sx := float32(x) + f.U[i]
+				sy := float32(y) + f.V[i]
+				out.Pix[i] = src.SampleBilinear(sx, sy)
+				inBounds := sx >= -0.5 && sy >= -0.5 && sx <= float32(src.W)-0.5 && sy <= float32(src.H)-0.5
+				if inBounds && f.Conf[i] >= confThreshold {
+					valid.Pix[i] = 1
+				}
 			}
 		}
-	}
+	})
 	return out, valid
 }
 
@@ -45,11 +50,13 @@ func BackwardPlane(src, u, v *vmath.Plane) *vmath.Plane {
 		panic("warp: offset plane size mismatch")
 	}
 	out := vmath.NewPlane(src.W, src.H)
-	for y := 0; y < src.H; y++ {
-		for x := 0; x < src.W; x++ {
-			i := y*src.W + x
-			out.Pix[i] = src.SampleBilinear(float32(x)+u.Pix[i], float32(y)+v.Pix[i])
+	par.ForRows(src.H, func(y0, y1 int) {
+		for y := y0; y < y1; y++ {
+			for x := 0; x < src.W; x++ {
+				i := y*src.W + x
+				out.Pix[i] = src.SampleBilinear(float32(x)+u.Pix[i], float32(y)+v.Pix[i])
+			}
 		}
-	}
+	})
 	return out
 }
