@@ -1,6 +1,10 @@
 // Command nerved runs the NERVE media server over HTTP, or plays a stream
 // from one — the deployable server/client split of Fig. 5 on real sockets.
 //
+// The server runs with sane transport timeouts and drains in-flight
+// requests on SIGINT/SIGTERM; the client retries transient fetch failures
+// with backoff and degrades lost chunks to codes-only recovery.
+//
 // Usage:
 //
 //	nerved -listen :8080                          # serve
@@ -8,10 +12,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"nerve"
 	"nerve/internal/httpstream"
@@ -27,65 +35,121 @@ func main() {
 		category = flag.String("category", "GamePlay", "content category (server mode)")
 		seed     = flag.Int64("seed", 1, "content seed")
 		noRC     = flag.Bool("no-recovery", false, "disable the recovery model (client mode)")
+		retries  = flag.Int("retries", 3, "fetch attempts per request (client mode)")
+		timeout  = flag.Duration("timeout", 15*time.Second, "per-request timeout (client mode)")
 	)
 	flag.Parse()
 
 	switch {
 	case *listen != "":
-		cat, err := video.CategoryByName(*category)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "nerved:", err)
-			os.Exit(2)
-		}
-		srv, err := httpstream.NewServer(httpstream.ServerConfig{
-			W: 320, H: 180, Chunks: *chunks,
-			Source: video.NewGenerator(cat, *seed),
-		})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "nerved:", err)
-			os.Exit(1)
-		}
-		fmt.Printf("nerved: serving %q on %s (manifest at /manifest)\n", *category, *listen)
-		if err := http.ListenAndServe(*listen, srv); err != nil {
+		if err := serve(*listen, *category, *seed, *chunks); err != nil {
 			fmt.Fprintln(os.Stderr, "nerved:", err)
 			os.Exit(1)
 		}
 	case *play != "":
-		cli, err := httpstream.NewClient(*play, nil, !*noRC)
-		if err != nil {
+		if err := stream(*play, *category, *seed, *lose, !*noRC, *retries, *timeout); err != nil {
 			fmt.Fprintln(os.Stderr, "nerved:", err)
 			os.Exit(1)
-		}
-		m := cli.Manifest()
-		fmt.Printf("stream: %dx%d, %d chunks × %.1fs, rates %v kbps\n",
-			m.Width, m.Height, m.Chunks, m.ChunkSeconds, m.RatesKbps)
-		rate := len(m.RatesKbps) - 1
-		// Reconstruct the source locally to report true quality (demo
-		// content is deterministic in the seed).
-		cat, _ := video.CategoryByName(*category)
-		gen := nerve.NewGenerator(cat, *seed)
-		fpc := int(m.ChunkSeconds * float64(m.FPS))
-		for n := 0; n < m.Chunks; n++ {
-			res, err := cli.PlayChunk(n, rate, n == *lose)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "nerved:", err)
-				os.Exit(1)
-			}
-			var psnr float64
-			for i, f := range res.Frames {
-				psnr += nerve.PSNR(gen.Render(n*fpc+i, m.Width, m.Height), f) / float64(len(res.Frames))
-			}
-			state := "ok"
-			if n == *lose {
-				state = "LOST (recovered from codes)"
-				if *noRC {
-					state = "LOST (frame reuse)"
-				}
-			}
-			fmt.Printf("chunk %d: %6d B, %.2f dB  %s\n", n, res.Bytes, psnr, state)
 		}
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// serve runs the media server until SIGINT/SIGTERM, then drains in-flight
+// requests before exiting.
+func serve(listen, category string, seed int64, chunks int) error {
+	cat, err := video.CategoryByName(category)
+	if err != nil {
+		return err
+	}
+	handler, err := httpstream.NewServer(httpstream.ServerConfig{
+		W: 320, H: 180, Chunks: chunks,
+		Source: video.NewGenerator(cat, seed),
+	})
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{
+		Addr:    listen,
+		Handler: handler,
+		// A cold /segment request encodes lazily, so writes get a
+		// generous budget; reads and idle keep-alives do not.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Printf("nerved: serving %q on %s (manifest at /manifest)\n", category, listen)
+		errc <- srv.ListenAndServe()
+	}()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Println("nerved: shutting down, draining in-flight requests")
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if n := handler.WriteErrors(); n > 0 {
+		fmt.Printf("nerved: %d response writes failed (clients gone mid-transfer)\n", n)
+	}
+	return nil
+}
+
+// stream plays the whole manifest from a server, reporting per-chunk
+// quality and how each chunk was produced.
+func stream(base, category string, seed int64, lose int, recovery bool, retries int, timeout time.Duration) error {
+	cli, err := httpstream.NewClient(base, nil, recovery, httpstream.WithRetryPolicy(httpstream.RetryPolicy{
+		MaxAttempts:    retries,
+		RequestTimeout: timeout,
+		Seed:           seed,
+	}))
+	if err != nil {
+		return err
+	}
+	m := cli.Manifest()
+	fmt.Printf("stream: %dx%d, %d chunks × %.1fs, rates %v kbps\n",
+		m.Width, m.Height, m.Chunks, m.ChunkSeconds, m.RatesKbps)
+	rate := len(m.RatesKbps) - 1
+	// Reconstruct the source locally to report true quality (demo
+	// content is deterministic in the seed).
+	cat, err := video.CategoryByName(category)
+	if err != nil {
+		return err
+	}
+	gen := nerve.NewGenerator(cat, seed)
+	fpc := int(m.ChunkSeconds * float64(m.FPS))
+	for n := 0; n < m.Chunks; n++ {
+		res, err := cli.PlayChunk(n, rate, n == lose)
+		if err != nil {
+			return err
+		}
+		var psnr float64
+		for i, f := range res.Frames {
+			psnr += nerve.PSNR(gen.Render(n*fpc+i, m.Width, m.Height), f) / float64(len(res.Frames))
+		}
+		state := "ok"
+		switch {
+		case res.Degraded:
+			state = fmt.Sprintf("DEGRADED codes-only (%s)", res.DegradedReason)
+		case n == lose && recovery:
+			state = "LOST (recovered from codes)"
+		case n == lose:
+			state = "LOST (frame reuse)"
+		}
+		fmt.Printf("chunk %d: %6d B, %.2f dB  %s\n", n, res.Bytes, psnr, state)
+	}
+	if r := cli.Retries(); r > 0 {
+		fmt.Printf("fetch retries: %d, degraded chunks: %d\n", r, cli.DegradedChunks())
+	}
+	return nil
 }

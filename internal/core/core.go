@@ -156,6 +156,7 @@ type Client struct {
 	frameIdx  int
 	recovered int
 	total     int
+	classes   map[FrameClass]int
 }
 
 // NewClient builds a client engine.
@@ -170,15 +171,27 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		cfg.Device = device.IPhone12()
 	}
 	c := &Client{
-		cfg: cfg,
-		dec: codec.NewDecoder(codec.Config{W: cfg.W, H: cfg.H}),
-		rec: recovery.New(recovery.Config{OutW: cfg.W, OutH: cfg.H}),
-		ext: edgecode.NewExtractor(0, 0),
+		cfg:     cfg,
+		dec:     codec.NewDecoder(codec.Config{W: cfg.W, H: cfg.H}),
+		rec:     recovery.New(recovery.Config{OutW: cfg.W, OutH: cfg.H}),
+		ext:     edgecode.NewExtractor(0, 0),
+		classes: make(map[FrameClass]int),
 	}
 	if cfg.EnableSR && (cfg.OutW != cfg.W || cfg.OutH != cfg.H) {
 		c.srr = sr.New(sr.Config{OutW: cfg.OutW, OutH: cfg.OutH})
 	}
 	return c, nil
+}
+
+// ClassCounts returns how many displayed frames were produced per class so
+// far — the degradation ladder a session actually walked (decoded > sr >
+// partial > recovered > reused).
+func (c *Client) ClassCounts() map[FrameClass]int {
+	out := make(map[FrameClass]int, len(c.classes))
+	for k, v := range c.classes {
+		out[k] = v
+	}
+	return out
 }
 
 // RecoveredFraction returns the fraction of frames that needed recovery or
@@ -261,6 +274,7 @@ func (c *Client) Next(in Input) (*FrameResult, error) {
 		c.prevCode = c.ext.Extract(c.prevOut)
 	}
 	c.frameIdx++
+	c.classes[res.Class]++
 	res.Frame = display
 	return res, nil
 }

@@ -273,3 +273,42 @@ func TestNearestResolution(t *testing.T) {
 		t.Fatalf("500 → %v", r)
 	}
 }
+
+func TestClassCountsTrackDegradation(t *testing.T) {
+	srv := makeServer(t)
+	cli, err := NewClient(ClientConfig{W: tw, H: th, EnableRecovery: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := sourceFrames(8)
+	lost := map[int]bool{3: true, 5: true}
+	for i, f := range frames {
+		sf, err := srv.Process(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := Input{Code: sf.Code}
+		if !lost[i] {
+			in.Encoded = sf.Encoded
+		}
+		if _, err := cli.Next(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	counts := cli.ClassCounts()
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total != len(frames) {
+		t.Fatalf("class counts sum to %d, want %d", total, len(frames))
+	}
+	if counts[ClassDecoded] != 6 || counts[ClassRecovered] != 2 {
+		t.Fatalf("counts %v, want 6 decoded / 2 recovered", counts)
+	}
+	// The returned map is a copy: mutating it must not corrupt the client.
+	counts[ClassDecoded] = 99
+	if cli.ClassCounts()[ClassDecoded] != 6 {
+		t.Fatal("ClassCounts exposes internal state")
+	}
+}

@@ -1,0 +1,226 @@
+// Package faultnet is a seeded fault-injection layer for HTTP clients: an
+// http.RoundTripper that wraps a real transport and injects latency, 5xx
+// responses, connection resets and truncated bodies, either on a scripted
+// per-request basis (Rule) or probabilistically from a deterministic seeded
+// RNG. The httpstream tests use it to prove the client's retry/backoff and
+// codes-only degradation behaviour without a flaky real network.
+package faultnet
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Rule scripts a fault for matching requests. Rules are checked in order;
+// the first rule that matches (and has budget left) is applied and shadows
+// both later rules and the probabilistic faults. Exactly one of Reset,
+// Status and TruncateBytes should be set (Latency composes with any).
+type Rule struct {
+	// Match selects requests (nil matches all). See MatchURL.
+	Match func(*http.Request) bool
+	// Count limits how many matching requests the rule fires on
+	// (0 = every matching request, forever).
+	Count int
+	// Latency delays the response by this much.
+	Latency time.Duration
+	// Reset aborts the request with a connection-reset error before it
+	// reaches the base transport.
+	Reset bool
+	// Status short-circuits with this HTTP status and a small text body.
+	Status int
+	// TruncateBytes forwards the request but cuts the response body after
+	// this many bytes with an unexpected-EOF error, as a mid-stream
+	// connection drop would.
+	TruncateBytes int
+
+	applied int // guarded by Transport.mu
+}
+
+// Config sets the seeded probabilistic fault rates applied to requests no
+// rule claimed. All rates are probabilities in [0,1].
+type Config struct {
+	// Seed feeds the deterministic RNG (same seed → same fault sequence
+	// for the same request order).
+	Seed int64
+	// ResetRate is the probability of a connection-reset error.
+	ResetRate float64
+	// ServerErrorRate is the probability of an injected 503.
+	ServerErrorRate float64
+	// TruncateRate is the probability of truncating the body to half.
+	TruncateRate float64
+	// Latency is a fixed delay added to every request.
+	Latency time.Duration
+	// LatencyJitter adds a uniform random extra delay in [0, LatencyJitter).
+	LatencyJitter time.Duration
+}
+
+// Transport is the fault-injecting http.RoundTripper. It is safe for
+// concurrent use.
+type Transport struct {
+	// Base performs real requests (http.DefaultTransport if nil).
+	Base http.RoundTripper
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	cfg   Config
+	rules []*Rule
+
+	// Counters (atomic) of injected faults and untouched requests.
+	Resets       atomic.Int64
+	ServerErrors atomic.Int64
+	Truncations  atomic.Int64
+	Passed       atomic.Int64
+}
+
+// New builds a Transport over base with the given probabilistic config and
+// scripted rules.
+func New(base http.RoundTripper, cfg Config, rules ...*Rule) *Transport {
+	return &Transport{
+		Base:  base,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		cfg:   cfg,
+		rules: rules,
+	}
+}
+
+// MatchURL returns a matcher selecting requests whose URL (path plus raw
+// query, e.g. "/segment?rate=1&n=2") contains substr.
+func MatchURL(substr string) func(*http.Request) bool {
+	return func(r *http.Request) bool {
+		u := r.URL.Path
+		if r.URL.RawQuery != "" {
+			u += "?" + r.URL.RawQuery
+		}
+		return strings.Contains(u, substr)
+	}
+}
+
+// fault is the decision drawn for one request.
+type fault struct {
+	latency  time.Duration
+	reset    bool
+	status   int
+	truncate int // -1 = none, otherwise byte cap (half-body for random)
+}
+
+// decide draws the fault for a request under the mutex so both the rule
+// budgets and the RNG stay deterministic under concurrency (the decision
+// order then depends on request arrival order, which concurrent tests must
+// not assert on — use Count-limited rules there).
+func (t *Transport) decide(req *http.Request) fault {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	f := fault{truncate: -1}
+	for _, r := range t.rules {
+		if r.Match != nil && !r.Match(req) {
+			continue
+		}
+		if r.Count > 0 && r.applied >= r.Count {
+			continue
+		}
+		r.applied++
+		f.latency = r.Latency
+		f.reset = r.Reset
+		f.status = r.Status
+		if r.TruncateBytes > 0 {
+			f.truncate = r.TruncateBytes
+		}
+		return f
+	}
+	f.latency = t.cfg.Latency
+	if t.cfg.LatencyJitter > 0 {
+		f.latency += time.Duration(t.rng.Int63n(int64(t.cfg.LatencyJitter)))
+	}
+	switch {
+	case t.cfg.ResetRate > 0 && t.rng.Float64() < t.cfg.ResetRate:
+		f.reset = true
+	case t.cfg.ServerErrorRate > 0 && t.rng.Float64() < t.cfg.ServerErrorRate:
+		f.status = http.StatusServiceUnavailable
+	case t.cfg.TruncateRate > 0 && t.rng.Float64() < t.cfg.TruncateRate:
+		f.truncate = 0 // resolved to half the body once its size is known
+	}
+	return f
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	f := t.decide(req)
+	if f.latency > 0 {
+		select {
+		case <-time.After(f.latency):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	switch {
+	case f.reset:
+		t.Resets.Add(1)
+		return nil, fmt.Errorf("faultnet: connection reset by peer (%s)", req.URL.Path)
+	case f.status > 0:
+		t.ServerErrors.Add(1)
+		body := fmt.Sprintf("faultnet: injected %d", f.status)
+		return &http.Response{
+			StatusCode:    f.status,
+			Status:        fmt.Sprintf("%d %s", f.status, http.StatusText(f.status)),
+			Proto:         "HTTP/1.1",
+			ProtoMajor:    1,
+			ProtoMinor:    1,
+			Header:        http.Header{"Content-Type": {"text/plain"}},
+			Body:          io.NopCloser(strings.NewReader(body)),
+			ContentLength: int64(len(body)),
+			Request:       req,
+		}, nil
+	}
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	resp, err := base.RoundTrip(req)
+	if err != nil || f.truncate < 0 {
+		if err == nil {
+			t.Passed.Add(1)
+		}
+		return resp, err
+	}
+	t.Truncations.Add(1)
+	limit := int64(f.truncate)
+	if limit == 0 {
+		// Probabilistic truncation: cut to half the declared body.
+		limit = resp.ContentLength / 2
+		if limit < 0 {
+			limit = 1
+		}
+	}
+	resp.Body = &truncatedBody{rc: resp.Body, remaining: limit}
+	return resp, nil
+}
+
+// truncatedBody yields the first remaining bytes of rc and then fails with
+// io.ErrUnexpectedEOF, as a connection cut mid-body would.
+type truncatedBody struct {
+	rc        io.ReadCloser
+	remaining int64
+}
+
+func (b *truncatedBody) Read(p []byte) (int, error) {
+	if b.remaining <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	if int64(len(p)) > b.remaining {
+		p = p[:b.remaining]
+	}
+	n, err := b.rc.Read(p)
+	b.remaining -= int64(n)
+	if err == io.EOF {
+		err = io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+func (b *truncatedBody) Close() error { return b.rc.Close() }

@@ -1,0 +1,135 @@
+package faultnet
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func okServer(t *testing.T, body string) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, body)
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestRuleStatusCountLimited(t *testing.T) {
+	ts := okServer(t, "payload")
+	tr := New(nil, Config{}, &Rule{Match: MatchURL("/seg"), Count: 2, Status: 503})
+	cli := &http.Client{Transport: tr}
+	for i := 0; i < 4; i++ {
+		resp, err := cli.Get(ts.URL + "/seg?n=0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		want := http.StatusOK
+		if i < 2 {
+			want = http.StatusServiceUnavailable
+		}
+		if resp.StatusCode != want {
+			t.Fatalf("request %d: status %d want %d", i, resp.StatusCode, want)
+		}
+	}
+	if got := tr.ServerErrors.Load(); got != 2 {
+		t.Fatalf("ServerErrors=%d want 2", got)
+	}
+	// Non-matching paths are never touched.
+	resp, err := cli.Get(ts.URL + "/other")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("non-matching request faulted: %v %v", resp, err)
+	}
+	resp.Body.Close()
+}
+
+func TestRuleReset(t *testing.T) {
+	ts := okServer(t, "payload")
+	tr := New(nil, Config{}, &Rule{Reset: true})
+	_, err := (&http.Client{Transport: tr}).Get(ts.URL + "/x")
+	if err == nil {
+		t.Fatal("reset rule produced no error")
+	}
+	if tr.Resets.Load() != 1 {
+		t.Fatalf("Resets=%d want 1", tr.Resets.Load())
+	}
+}
+
+func TestRuleTruncation(t *testing.T) {
+	ts := okServer(t, strings.Repeat("x", 1000))
+	tr := New(nil, Config{}, &Rule{TruncateBytes: 100})
+	resp, err := (&http.Client{Transport: tr}).Get(ts.URL + "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err == nil {
+		t.Fatalf("truncated body read fully: %d bytes", len(b))
+	}
+	if len(b) > 100 {
+		t.Fatalf("read %d bytes past the truncation point", len(b))
+	}
+	if tr.Truncations.Load() != 1 {
+		t.Fatalf("Truncations=%d want 1", tr.Truncations.Load())
+	}
+}
+
+func TestSeededFaultsDeterministic(t *testing.T) {
+	ts := okServer(t, "payload")
+	run := func() []bool {
+		tr := New(nil, Config{Seed: 42, ResetRate: 0.5})
+		cli := &http.Client{Transport: tr}
+		var failed []bool
+		for i := 0; i < 32; i++ {
+			resp, err := cli.Get(ts.URL + "/x")
+			failed = append(failed, err != nil)
+			if err == nil {
+				resp.Body.Close()
+			}
+		}
+		return failed
+	}
+	a, b := run(), run()
+	anyFailed, anyPassed := false, false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d: fault decision differs across same-seed runs", i)
+		}
+		anyFailed = anyFailed || a[i]
+		anyPassed = anyPassed || !a[i]
+	}
+	if !anyFailed || !anyPassed {
+		t.Fatalf("degenerate fault sequence at 50%% reset rate: failed=%v passed=%v", anyFailed, anyPassed)
+	}
+}
+
+func TestConcurrentRequests(t *testing.T) {
+	ts := okServer(t, "payload")
+	tr := New(nil, Config{Seed: 7, ResetRate: 0.3, TruncateRate: 0.3})
+	cli := &http.Client{Transport: tr}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				resp, err := cli.Get(ts.URL + "/x")
+				if err != nil {
+					continue
+				}
+				io.ReadAll(resp.Body)
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	total := tr.Resets.Load() + tr.Truncations.Load() + tr.Passed.Load() + tr.ServerErrors.Load()
+	if total != 8*20 {
+		t.Fatalf("counters account for %d requests, want %d", total, 8*20)
+	}
+}

@@ -1,0 +1,39 @@
+package httpstream
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzSplitLengthPrefixed checks the wire-format splitter against
+// arbitrary payloads: it must never panic, and any payload it accepts must
+// re-serialise byte-for-byte (the records partition the input exactly).
+func FuzzSplitLengthPrefixed(f *testing.F) {
+	var valid []byte
+	for _, rec := range [][]byte{{}, {1}, {2, 3, 4}, bytes.Repeat([]byte{9}, 300)} {
+		valid = binary.BigEndian.AppendUint32(valid, uint32(len(rec)))
+		valid = append(valid, rec...)
+	}
+	f.Add([]byte{})
+	f.Add(valid)
+	f.Add([]byte{0, 0, 0, 5, 1, 2})              // record shorter than its prefix
+	f.Add([]byte{0, 0, 0})                       // truncated prefix
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})        // huge length
+	f.Add(binary.BigEndian.AppendUint32(nil, 0)) // single empty record
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		recs, err := splitLengthPrefixed(b)
+		if err != nil {
+			return
+		}
+		var rejoined []byte
+		for _, rec := range recs {
+			rejoined = binary.BigEndian.AppendUint32(rejoined, uint32(len(rec)))
+			rejoined = append(rejoined, rec...)
+		}
+		if !bytes.Equal(rejoined, b) {
+			t.Fatalf("accepted payload does not round-trip: %d in, %d rejoined", len(b), len(rejoined))
+		}
+	})
+}

@@ -5,16 +5,26 @@
 // quality. The chunk simulator (internal/sim) answers the paper's QoE
 // questions; this package demonstrates the deployable server/client split
 // of Fig. 5 over net/http.
+//
+// The path is built to survive faults the way the paper's loss story
+// demands: the server never head-of-line blocks unrelated requests
+// (per-rate encode locks + a singleflight cache), and the client retries
+// transient failures with backoff and, when a segment stays unreachable,
+// degrades to codes-only recovery instead of aborting playback.
 package httpstream
 
 import (
+	"context"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"nerve/internal/codec"
 	"nerve/internal/core"
@@ -66,8 +76,19 @@ func (c ServerConfig) withDefaults() ServerConfig {
 	return c
 }
 
+// errOutOfRange marks requests for rates/chunks outside the manifest —
+// the only errors ServeHTTP reports as 404 (everything else is a 500).
+var errOutOfRange = errors.New("out of range")
+
 // Server is an http.Handler serving the stream. Segments are encoded
 // lazily on first request and cached; codes are extracted alongside.
+//
+// Concurrency: the payload cache is under a read-write mutex, encoding is
+// serialised per rate only (chunks must encode in order within a rate, but
+// rates are independent), and a singleflight keyed by (rate, chunk)
+// collapses concurrent identical requests into one computation. Requests
+// for different rates, different chunks of warm rates, and /codes never
+// block each other.
 //
 // Endpoints:
 //
@@ -78,13 +99,23 @@ type Server struct {
 	cfg      ServerConfig
 	manifest Manifest
 
-	mu    sync.Mutex
-	segs  map[[2]int][]byte // (rate, chunk) → payload
-	codes map[int][]byte    // chunk → payload
-	encs  []*serverRate
+	cacheMu sync.RWMutex
+	segs    map[[2]int][]byte // (rate, chunk) → payload
+	codes   map[int][]byte    // chunk → payload
+
+	flight flightGroup
+	encs   []*serverRate
+
+	encodes     atomic.Int64 // chunk encodes performed (duplicates would inflate this)
+	writeErrors atomic.Int64
+
+	// testErr, when set, makes payload builders fail (internal-error path
+	// coverage).
+	testErr error
 }
 
 type serverRate struct {
+	mu   sync.Mutex // serialises encoding within this rate only
 	enc  *codec.Encoder
 	next int // next chunk to encode (chunks must be encoded in order)
 }
@@ -122,69 +153,131 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 // Manifest returns the stream description.
 func (s *Server) Manifest() Manifest { return s.manifest }
 
+// Encodes returns how many chunk encodes the server has performed; with
+// the singleflight cache this never exceeds rates×chunks no matter how
+// many clients stream concurrently.
+func (s *Server) Encodes() int64 { return s.encodes.Load() }
+
+// WriteErrors returns how many response writes failed (client gone
+// mid-transfer). The work is cached, so an aborted request costs nothing
+// beyond the bytes already sent.
+func (s *Server) WriteErrors() int64 { return s.writeErrors.Load() }
+
 // framesPerChunk returns the frames per segment.
 func (s *Server) framesPerChunk() int {
 	return int(s.cfg.ChunkSeconds * video.FPS)
 }
 
-// segment returns (encoding on demand) the wire payload of one chunk at one
-// rate. Chunks encode in order per rate (P frames depend on history).
-func (s *Server) segment(rate, n int) ([]byte, error) {
-	if rate < 0 || rate >= len(s.encs) || n < 0 || n >= s.cfg.Chunks {
-		return nil, fmt.Errorf("httpstream: segment rate=%d n=%d out of range", rate, n)
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if b, ok := s.segs[[2]int{rate, n}]; ok {
-		return b, nil
-	}
-	sr := s.encs[rate]
-	fpc := s.framesPerChunk()
-	for sr.next <= n {
-		var payload []byte
-		for i := 0; i < fpc; i++ {
-			frame := s.cfg.Source.Render(sr.next*fpc+i, s.cfg.W, s.cfg.H)
-			ef := sr.enc.Encode(frame)
-			wire, err := ef.MarshalBinary()
-			if err != nil {
-				return nil, err
-			}
-			payload = binary.BigEndian.AppendUint32(payload, uint32(len(wire)))
-			payload = append(payload, wire...)
-		}
-		s.segs[[2]int{rate, sr.next}] = payload
-		sr.next++
-	}
-	return s.segs[[2]int{rate, n}], nil
+func (s *Server) cachedSeg(rate, n int) ([]byte, bool) {
+	s.cacheMu.RLock()
+	b, ok := s.segs[[2]int{rate, n}]
+	s.cacheMu.RUnlock()
+	return b, ok
 }
 
-// codesFor returns the compressed binary point codes of one chunk.
-func (s *Server) codesFor(n int) ([]byte, error) {
-	if n < 0 || n >= s.cfg.Chunks {
-		return nil, fmt.Errorf("httpstream: codes n=%d out of range", n)
+// segment returns (encoding on demand) the wire payload of one chunk at one
+// rate. Chunks encode in order per rate (P frames depend on history), so a
+// cache miss encodes every not-yet-encoded chunk up to n — under that
+// rate's lock only.
+func (s *Server) segment(rate, n int) ([]byte, error) {
+	if rate < 0 || rate >= len(s.encs) || n < 0 || n >= s.cfg.Chunks {
+		return nil, fmt.Errorf("httpstream: segment rate=%d n=%d %w", rate, n, errOutOfRange)
 	}
-	s.mu.Lock()
-	if b, ok := s.codes[n]; ok {
-		s.mu.Unlock()
+	if b, ok := s.cachedSeg(rate, n); ok {
 		return b, nil
 	}
-	s.mu.Unlock()
-	// Codes are extracted statelessly from the source frames (the server
-	// side-channel path), independent of any rate's encoder state.
-	ext := edgecode.NewExtractor(0, 0)
-	ext.HistoryWeight = 0
-	fpc := s.framesPerChunk()
-	var payload []byte
-	for i := 0; i < fpc; i++ {
-		code := ext.Extract(s.cfg.Source.Render(n*fpc+i, s.cfg.W, s.cfg.H))
-		packed := code.Compress()
-		payload = binary.BigEndian.AppendUint32(payload, uint32(len(packed)))
-		payload = append(payload, packed...)
+	return s.flight.Do(fmt.Sprintf("seg:%d:%d", rate, n), func() ([]byte, error) {
+		if b, ok := s.cachedSeg(rate, n); ok {
+			return b, nil
+		}
+		sr := s.encs[rate]
+		sr.mu.Lock()
+		defer sr.mu.Unlock()
+		fpc := s.framesPerChunk()
+		for sr.next <= n {
+			if s.testErr != nil {
+				return nil, s.testErr
+			}
+			var payload []byte
+			for i := 0; i < fpc; i++ {
+				frame := s.cfg.Source.Render(sr.next*fpc+i, s.cfg.W, s.cfg.H)
+				ef := sr.enc.Encode(frame)
+				wire, err := ef.MarshalBinary()
+				if err != nil {
+					return nil, err
+				}
+				payload = binary.BigEndian.AppendUint32(payload, uint32(len(wire)))
+				payload = append(payload, wire...)
+			}
+			s.encodes.Add(1)
+			s.cacheMu.Lock()
+			s.segs[[2]int{rate, sr.next}] = payload
+			s.cacheMu.Unlock()
+			sr.next++
+		}
+		b, _ := s.cachedSeg(rate, n)
+		return b, nil
+	})
+}
+
+// codesFor returns the compressed binary point codes of one chunk. Codes
+// are extracted statelessly from the source frames (the server side-channel
+// path), independent of any rate's encoder state — distinct chunks extract
+// fully in parallel.
+func (s *Server) codesFor(n int) ([]byte, error) {
+	if n < 0 || n >= s.cfg.Chunks {
+		return nil, fmt.Errorf("httpstream: codes n=%d %w", n, errOutOfRange)
 	}
-	s.mu.Lock()
-	s.codes[n] = payload
-	s.mu.Unlock()
-	return payload, nil
+	s.cacheMu.RLock()
+	b, ok := s.codes[n]
+	s.cacheMu.RUnlock()
+	if ok {
+		return b, nil
+	}
+	return s.flight.Do(fmt.Sprintf("codes:%d", n), func() ([]byte, error) {
+		s.cacheMu.RLock()
+		b, ok := s.codes[n]
+		s.cacheMu.RUnlock()
+		if ok {
+			return b, nil
+		}
+		if s.testErr != nil {
+			return nil, s.testErr
+		}
+		ext := edgecode.NewExtractor(0, 0)
+		ext.HistoryWeight = 0
+		fpc := s.framesPerChunk()
+		var payload []byte
+		for i := 0; i < fpc; i++ {
+			code := ext.Extract(s.cfg.Source.Render(n*fpc+i, s.cfg.W, s.cfg.H))
+			packed := code.Compress()
+			payload = binary.BigEndian.AppendUint32(payload, uint32(len(packed)))
+			payload = append(payload, packed...)
+		}
+		s.cacheMu.Lock()
+		s.codes[n] = payload
+		s.cacheMu.Unlock()
+		return payload, nil
+	})
+}
+
+// writePayload sends a binary payload, counting (rather than discarding)
+// write failures.
+func (s *Server) writePayload(w http.ResponseWriter, b []byte) {
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(b)))
+	if _, err := w.Write(b); err != nil {
+		s.writeErrors.Add(1)
+	}
+}
+
+// httpStatus maps a payload-builder error to its response code: 404 only
+// for rates/chunks outside the manifest, 500 for internal failures.
+func httpStatus(err error) int {
+	if errors.Is(err, errOutOfRange) {
+		return http.StatusNotFound
+	}
+	return http.StatusInternalServerError
 }
 
 // ServeHTTP implements http.Handler.
@@ -193,7 +286,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	case "/manifest":
 		w.Header().Set("Content-Type", "application/json")
 		if err := json.NewEncoder(w).Encode(s.manifest); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+			s.writeErrors.Add(1)
 		}
 	case "/segment":
 		rate, err1 := strconv.Atoi(r.URL.Query().Get("rate"))
@@ -204,11 +297,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 		b, err := s.segment(rate, n)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusNotFound)
+			http.Error(w, err.Error(), httpStatus(err))
 			return
 		}
-		w.Header().Set("Content-Type", "application/octet-stream")
-		w.Write(b)
+		s.writePayload(w, b)
 	case "/codes":
 		n, err := strconv.Atoi(r.URL.Query().Get("n"))
 		if err != nil {
@@ -217,11 +309,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 		b, err := s.codesFor(n)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusNotFound)
+			http.Error(w, err.Error(), httpStatus(err))
 			return
 		}
-		w.Header().Set("Content-Type", "application/octet-stream")
-		w.Write(b)
+		s.writePayload(w, b)
 	default:
 		http.NotFound(w, r)
 	}
@@ -253,7 +344,16 @@ type ChunkResult struct {
 	// FetchSeconds is the wall-clock time of the segment download
 	// (excluding decode/recovery), the ABR's throughput signal.
 	FetchSeconds float64
-	Frames       []*vmath.Plane
+	// Degraded marks a chunk whose segment fetch failed through the whole
+	// retry policy (or arrived corrupt) and was played codes-only through
+	// the recovery path instead of aborting the stream.
+	Degraded bool
+	// DegradedReason is the failure that forced the degradation.
+	DegradedReason string
+	// Classes records how the engine produced each frame (decoded,
+	// recovered, reused, ...), index-aligned with Frames.
+	Classes []core.FrameClass
+	Frames  []*vmath.Plane
 }
 
 // Client streams from a Server URL, running the NERVE client engine.
@@ -262,24 +362,45 @@ type Client struct {
 	http     *http.Client
 	manifest Manifest
 	engine   *core.Client
+
+	policy  RetryPolicy
+	backoff *backoffer
+	// sleep is the inter-retry wait (overridable in tests).
+	sleep func(time.Duration)
+
+	retries  atomic.Int64
+	degraded atomic.Int64
+}
+
+// ClientOption tweaks a Client at construction.
+type ClientOption func(*Client)
+
+// WithRetryPolicy sets the fetch fault-handling policy.
+func WithRetryPolicy(p RetryPolicy) ClientOption {
+	return func(c *Client) { c.policy = p.withDefaults() }
 }
 
 // NewClient fetches the manifest and prepares the engine. enableRecovery
 // wires the recovery model for lost segments.
-func NewClient(baseURL string, httpClient *http.Client, enableRecovery bool) (*Client, error) {
+func NewClient(baseURL string, httpClient *http.Client, enableRecovery bool, opts ...ClientOption) (*Client, error) {
 	if httpClient == nil {
 		httpClient = http.DefaultClient
 	}
-	c := &Client{base: baseURL, http: httpClient}
-	resp, err := httpClient.Get(baseURL + "/manifest")
+	c := &Client{
+		base:   baseURL,
+		http:   httpClient,
+		policy: RetryPolicy{}.withDefaults(),
+		sleep:  time.Sleep,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	c.backoff = newBackoffer(c.policy)
+	raw, err := c.fetch("/manifest")
 	if err != nil {
 		return nil, fmt.Errorf("httpstream: manifest: %w", err)
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("httpstream: manifest: %s", resp.Status)
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&c.manifest); err != nil {
+	if err := json.Unmarshal(raw, &c.manifest); err != nil {
 		return nil, fmt.Errorf("httpstream: manifest: %w", err)
 	}
 	c.engine, err = core.NewClient(core.ClientConfig{
@@ -295,21 +416,71 @@ func NewClient(baseURL string, httpClient *http.Client, enableRecovery bool) (*C
 // Manifest returns the fetched stream description.
 func (c *Client) Manifest() Manifest { return c.manifest }
 
-func (c *Client) fetch(path string) ([]byte, error) {
-	resp, err := c.http.Get(c.base + path)
+// Retries returns how many retry attempts the client has made.
+func (c *Client) Retries() int64 { return c.retries.Load() }
+
+// DegradedChunks returns how many chunks fell back to codes-only recovery.
+func (c *Client) DegradedChunks() int64 { return c.degraded.Load() }
+
+// fetchOnce performs a single attempt. status is 0 for transport errors.
+func (c *Client) fetchOnce(path string) (body []byte, status int, err error) {
+	ctx, cancel := context.WithTimeout(context.Background(), c.policy.RequestTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, 0, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("httpstream: GET %s: %s", path, resp.Status)
+		// Drain a little so the connection can be reused.
+		io.CopyN(io.Discard, resp.Body, 512)
+		return nil, resp.StatusCode, fmt.Errorf("%s", resp.Status)
 	}
-	return io.ReadAll(resp.Body)
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		// Truncated or reset mid-body: transient.
+		return nil, 0, err
+	}
+	return b, http.StatusOK, nil
+}
+
+// fetch GETs base+path under the retry policy: transient failures
+// (transport errors, 5xx, truncated bodies) retry with exponential backoff
+// and seeded jitter up to MaxAttempts; permanent failures (4xx) return
+// immediately. Failures are reported as *FetchError.
+func (c *Client) fetch(path string) ([]byte, error) {
+	var lastErr error
+	var lastStatus int
+	for attempt := 1; ; attempt++ {
+		b, status, err := c.fetchOnce(path)
+		if err == nil {
+			return b, nil
+		}
+		lastErr, lastStatus = err, status
+		if status >= 400 && status < 500 {
+			return nil, &FetchError{Path: path, Attempts: attempt, Status: status, Transient: false, Err: err}
+		}
+		if attempt >= c.policy.MaxAttempts {
+			return nil, &FetchError{Path: path, Attempts: attempt, Status: lastStatus, Transient: true, Err: lastErr}
+		}
+		c.retries.Add(1)
+		c.sleep(c.backoff.delay(attempt))
+	}
 }
 
 // PlayChunk downloads chunk n at the given rate (lost=true simulates a
 // media-path outage: only the side-channel codes arrive) and plays it
 // through the engine, returning the displayed frames.
+//
+// The codes are the reliable side channel: if they cannot be fetched the
+// chunk fails hard. The segment is the lossy media path: if its fetch
+// fails through the whole retry policy, or the payload arrives corrupt,
+// the chunk degrades to codes-only recovery (Degraded is set) instead of
+// failing.
 func (c *Client) PlayChunk(n, rate int, lost bool) (*ChunkResult, error) {
 	codesRaw, err := c.fetch(fmt.Sprintf("/codes?n=%d", n))
 	if err != nil {
@@ -319,22 +490,12 @@ func (c *Client) PlayChunk(n, rate int, lost bool) (*ChunkResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	var frameRecs [][]byte
 	res := &ChunkResult{Chunk: n, Rate: rate}
+	var frameRecs [][]byte
 	if !lost {
-		start := timeNow()
-		segRaw, err := c.fetch(fmt.Sprintf("/segment?rate=%d&n=%d", rate, n))
+		frameRecs, err = c.fetchSegment(n, rate, len(codeRecs), res)
 		if err != nil {
 			return nil, err
-		}
-		res.FetchSeconds = timeNow() - start
-		res.Bytes = len(segRaw)
-		frameRecs, err = splitLengthPrefixed(segRaw)
-		if err != nil {
-			return nil, err
-		}
-		if len(frameRecs) != len(codeRecs) {
-			return nil, fmt.Errorf("httpstream: %d frames vs %d codes", len(frameRecs), len(codeRecs))
 		}
 	}
 	for i := range codeRecs {
@@ -343,7 +504,7 @@ func (c *Client) PlayChunk(n, rate int, lost bool) (*ChunkResult, error) {
 			return nil, err
 		}
 		in := core.Input{Code: code}
-		if !lost {
+		if frameRecs != nil {
 			var ef codec.EncodedFrame
 			if err := ef.UnmarshalBinary(frameRecs[i]); err != nil {
 				return nil, err
@@ -355,14 +516,57 @@ func (c *Client) PlayChunk(n, rate int, lost bool) (*ChunkResult, error) {
 			return nil, err
 		}
 		res.Frames = append(res.Frames, fr.Frame)
+		res.Classes = append(res.Classes, fr.Class)
 	}
 	return res, nil
 }
 
+// fetchSegment downloads and validates chunk n's media payload, filling in
+// the result's fetch stats. A transient fetch failure or a corrupt payload
+// returns (nil, nil) with the result marked Degraded — the codes-only
+// path; permanent failures (the caller asked for a rate/chunk that does
+// not exist) are returned as errors.
+func (c *Client) fetchSegment(n, rate, wantFrames int, res *ChunkResult) ([][]byte, error) {
+	degrade := func(reason string) ([][]byte, error) {
+		c.degraded.Add(1)
+		res.Degraded = true
+		res.DegradedReason = reason
+		res.Bytes = 0
+		res.FetchSeconds = 0
+		return nil, nil
+	}
+	start := timeNow()
+	segRaw, err := c.fetch(fmt.Sprintf("/segment?rate=%d&n=%d", rate, n))
+	if err != nil {
+		var fe *FetchError
+		if errors.As(err, &fe) && !fe.Transient {
+			return nil, err
+		}
+		return degrade(err.Error())
+	}
+	res.FetchSeconds = timeNow() - start
+	res.Bytes = len(segRaw)
+	frameRecs, err := splitLengthPrefixed(segRaw)
+	if err != nil {
+		return degrade(err.Error())
+	}
+	if len(frameRecs) != wantFrames {
+		return degrade(fmt.Sprintf("httpstream: %d frames vs %d codes", len(frameRecs), wantFrames))
+	}
+	return frameRecs, nil
+}
+
+// minFetchSeconds floors the ABR measurement interval: on localhost (or a
+// coarse clock) a segment can download in "zero" time, which previously
+// dropped the throughput sample entirely; flooring keeps the signal finite
+// and never discards it.
+const minFetchSeconds = 1e-3
+
 // PlayAll streams the whole manifest adaptively: a throughput-based rate
 // pick from measured segment download times (wall clock), falling back to
-// the lowest rung until a measurement exists. It returns the per-chunk
-// results in order.
+// the lowest rung until a measurement exists. Degraded chunks (media path
+// down) contribute no throughput sample and leave the rate unchanged. It
+// returns the per-chunk results in order.
 func (c *Client) PlayAll() ([]*ChunkResult, error) {
 	var out []*ChunkResult
 	rate := 0
@@ -371,8 +575,12 @@ func (c *Client) PlayAll() ([]*ChunkResult, error) {
 		if err != nil {
 			return out, err
 		}
-		if res.FetchSeconds > 0 && res.Bytes > 0 {
-			bps := float64(res.Bytes) * 8 / res.FetchSeconds
+		if res.Bytes > 0 {
+			dt := res.FetchSeconds
+			if dt < minFetchSeconds {
+				dt = minFetchSeconds
+			}
+			bps := float64(res.Bytes) * 8 / dt
 			// Highest rung affordable at 80% of the measured rate.
 			rate = 0
 			for i, kbps := range c.manifest.RatesKbps {

@@ -1,6 +1,7 @@
 package httpstream
 
 import (
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -128,17 +129,54 @@ func TestRatesDiffer(t *testing.T) {
 
 func TestBadRequests(t *testing.T) {
 	_, ts := testServer(t)
-	for _, path := range []string{
-		"/segment?rate=9&n=0", "/segment?rate=0&n=99", "/segment?rate=x&n=0",
-		"/codes?n=99", "/codes?n=x", "/nope",
+	for _, tc := range []struct {
+		path string
+		want int
+	}{
+		// Out-of-range rate/chunk → 404; malformed queries → 400.
+		{"/segment?rate=9&n=0", http.StatusNotFound},
+		{"/segment?rate=0&n=99", http.StatusNotFound},
+		{"/segment?rate=-1&n=0", http.StatusNotFound},
+		{"/segment?rate=x&n=0", http.StatusBadRequest},
+		{"/codes?n=99", http.StatusNotFound},
+		{"/codes?n=x", http.StatusBadRequest},
+		{"/nope", http.StatusNotFound},
 	} {
+		resp, err := http.Get(ts.URL + tc.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d want %d", tc.path, resp.StatusCode, tc.want)
+		}
+	}
+}
+
+func TestInternalErrorsAre500(t *testing.T) {
+	srv, ts := testServer(t)
+	srv.testErr = fmt.Errorf("injected encode failure")
+	for _, path := range []string{"/segment?rate=0&n=0", "/codes?n=0"} {
 		resp, err := http.Get(ts.URL + path)
 		if err != nil {
 			t.Fatal(err)
 		}
 		resp.Body.Close()
-		if resp.StatusCode == http.StatusOK {
-			t.Errorf("%s unexpectedly succeeded", path)
+		if resp.StatusCode != http.StatusInternalServerError {
+			t.Errorf("%s: status %d want 500", path, resp.StatusCode)
+		}
+	}
+	// Internal failures must not poison the cache: clearing the fault
+	// makes the same requests succeed.
+	srv.testErr = nil
+	for _, path := range []string{"/segment?rate=0&n=0", "/codes?n=0"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s after recovery: status %d want 200", path, resp.StatusCode)
 		}
 	}
 }
@@ -195,7 +233,16 @@ func TestEncodedFrameWireErrors(t *testing.T) {
 }
 
 func TestPlayAllAdapts(t *testing.T) {
-	_, ts := testServer(t)
+	srv, ts := testServer(t)
+	// Warm the cache so fetch times measure transfer, not the one-off
+	// lazy encode (which dwarfs it under -race).
+	for rate := range srv.Manifest().RatesKbps {
+		for n := 0; n < srv.Manifest().Chunks; n++ {
+			if _, err := srv.segment(rate, n); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
 	cli, err := NewClient(ts.URL, nil, false)
 	if err != nil {
 		t.Fatal(err)

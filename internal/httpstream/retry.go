@@ -1,0 +1,108 @@
+package httpstream
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// RetryPolicy bounds the client's per-request fault handling: every fetch
+// gets MaxAttempts tries, each under RequestTimeout, with exponential
+// backoff plus deterministic seeded jitter between tries. Transient
+// failures (transport errors, 5xx, truncated bodies) are retried;
+// permanent ones (4xx) are not.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per request (default 3).
+	MaxAttempts int
+	// BaseBackoff is the delay before the first retry; attempt k waits
+	// BaseBackoff·2^(k-1) (default 50 ms).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth (default 2 s).
+	MaxBackoff time.Duration
+	// Jitter is the fraction of each backoff that is randomised: the
+	// actual delay is uniform in [d·(1−Jitter/2), d·(1+Jitter/2)]
+	// (default 0.5, decorrelating synchronised clients).
+	Jitter float64
+	// RequestTimeout bounds each individual attempt (default 15 s).
+	RequestTimeout time.Duration
+	// Seed feeds the jitter RNG so retry schedules are reproducible
+	// (default 1).
+	Seed int64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 50 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 2 * time.Second
+	}
+	if p.Jitter <= 0 {
+		p.Jitter = 0.5
+	}
+	if p.Jitter > 1 {
+		p.Jitter = 1
+	}
+	if p.RequestTimeout <= 0 {
+		p.RequestTimeout = 15 * time.Second
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	return p
+}
+
+// backoffer turns a policy into concrete per-attempt delays.
+type backoffer struct {
+	p   RetryPolicy
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func newBackoffer(p RetryPolicy) *backoffer {
+	return &backoffer{p: p, rng: rand.New(rand.NewSource(p.Seed))}
+}
+
+// delay returns the sleep before retry number retry (1-based).
+func (b *backoffer) delay(retry int) time.Duration {
+	d := b.p.BaseBackoff
+	for i := 1; i < retry && d < b.p.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > b.p.MaxBackoff {
+		d = b.p.MaxBackoff
+	}
+	b.mu.Lock()
+	u := b.rng.Float64()
+	b.mu.Unlock()
+	scale := 1 - b.p.Jitter/2 + b.p.Jitter*u
+	return time.Duration(float64(d) * scale)
+}
+
+// FetchError reports a failed fetch after the retry policy was exhausted
+// (or a permanent failure that retrying cannot fix).
+type FetchError struct {
+	Path     string
+	Attempts int
+	// Status is the last HTTP status seen (0 for transport errors).
+	Status int
+	// Transient marks failures that were retried (5xx, transport errors,
+	// truncated bodies); permanent failures (4xx) are reported after the
+	// first attempt.
+	Transient bool
+	Err       error
+}
+
+func (e *FetchError) Error() string {
+	kind := "permanent"
+	if e.Transient {
+		kind = "transient"
+	}
+	return fmt.Sprintf("httpstream: GET %s: %s failure after %d attempt(s): %v", e.Path, kind, e.Attempts, e.Err)
+}
+
+func (e *FetchError) Unwrap() error { return e.Err }

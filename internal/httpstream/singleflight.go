@@ -1,0 +1,42 @@
+package httpstream
+
+import "sync"
+
+// flightGroup is a minimal singleflight: concurrent Do calls with the same
+// key share one execution of fn and all receive its result. Distinct keys
+// run fully in parallel. (The x/sync/singleflight shape, reimplemented
+// because the module is dependency-free.)
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	val  []byte
+	err  error
+}
+
+// Do runs fn once per concurrent set of callers with the same key.
+func (g *flightGroup) Do(key string, fn func() ([]byte, error)) ([]byte, error) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flightCall)
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		<-c.done
+		return c.val, c.err
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.val, c.err
+}

@@ -39,6 +39,10 @@ type Conn struct {
 	TxPackets  int
 	Retx       int
 	SpuriousRx int
+	// LocalDrops counts attempts rejected by the local queue-overflow
+	// guard before reaching the wire; these retry after the backlog
+	// drains rather than waiting out a full PTO.
+	LocalDrops int
 }
 
 // NewConn wires a connection over the two links.
@@ -73,10 +77,13 @@ func (c *Conn) SendDatagram(size int, deliver func(at float64)) bool {
 }
 
 // SendReliable delivers size payload bytes, retransmitting on PTO until the
-// receiver gets them or MaxAttempts is exhausted. cb runs exactly once: at
-// first delivery with ok=true and attempt set to the attempt number whose
-// copy arrived (1 = the original transmission), or at give-up time with
-// ok=false and attempt set to the number of attempts made.
+// receiver gets them or MaxAttempts is exhausted. An attempt rejected by
+// the local queue-overflow guard is detected immediately (the drop is
+// local knowledge, unlike wire loss) and retried as soon as the queue can
+// accept it, not a full PTO later. cb runs exactly once: at first delivery
+// with ok=true and attempt set to the attempt number whose copy arrived
+// (1 = the original transmission), or at give-up time with ok=false and
+// attempt set to the number of attempts made.
 func (c *Conn) SendReliable(size int, cb func(at float64, ok bool, attempt int)) {
 	delivered := false
 	attempts := 0
@@ -96,7 +103,8 @@ func (c *Conn) SendReliable(size int, cb func(at float64, ok bool, attempt int))
 			c.Retx++
 		}
 		pto := c.pto(size + HeaderSize)
-		c.Fwd.Send(size+HeaderSize, func() {
+		qdBefore := c.Fwd.QueueDropped
+		sent := c.Fwd.Send(size+HeaderSize, func() {
 			if delivered {
 				c.SpuriousRx++
 				return
@@ -107,6 +115,23 @@ func (c *Conn) SendReliable(size int, cb func(at float64, ok bool, attempt int))
 			c.Rev.Send(AckSize, func() {})
 			cb(at, true, thisAttempt)
 		})
+		if !sent && c.Fwd.QueueDropped > qdBefore {
+			// The packet never left: the local queue-overflow guard
+			// rejected it. No point arming a PTO — retry as soon as the
+			// backlog has drained below the cap.
+			c.LocalDrops++
+			delay := c.Fwd.QueueDelay() - c.Fwd.MaxQueueDelay
+			if delay < 0 {
+				delay = 0
+			}
+			c.Clock.Schedule(delay+1e-3, func() {
+				if !delivered {
+					attempt()
+				}
+			})
+			return
+		}
+		// Sent (or lost on the wire, which only the PTO can detect).
 		c.Clock.Schedule(pto, func() {
 			if !delivered {
 				attempt()

@@ -214,3 +214,54 @@ func TestWindowLimitsInflight(t *testing.T) {
 		t.Fatalf("window not enforced: done=%v", res.Done)
 	}
 }
+
+func TestLocalQueueDropRetriesFast(t *testing.T) {
+	// A packet rejected by the local queue-overflow guard must not wait
+	// out a full PTO (≈0.19 s here): the drop is known locally, so the
+	// retry fires as soon as the backlog drains below the cap.
+	clock := &netem.Clock{}
+	fwd := netem.NewLink(clock, flatTrace(1e6, 0, 0.1, 3600), nil)
+	fwd.MaxQueueDelay = 0.01
+	rev := netem.NewLink(clock, flatTrace(1e6, 0, 0.1, 3600), nil)
+	c := NewConn(clock, fwd, rev)
+	// 2500 B at 1 Mbps = 20 ms of backlog, over the 10 ms cap.
+	if !fwd.Send(2500, func() {}) {
+		t.Fatal("backlog packet itself dropped")
+	}
+	var at float64 = -1
+	okAttempt := 0
+	c.SendReliable(1000, func(a float64, ok bool, attempt int) {
+		if !ok {
+			t.Fatal("gave up on a lossless link")
+		}
+		at, okAttempt = a, attempt
+	})
+	clock.RunUntilIdle()
+	if c.LocalDrops != 1 {
+		t.Fatalf("LocalDrops=%d want 1", c.LocalDrops)
+	}
+	if okAttempt != 2 {
+		t.Fatalf("delivered on attempt %d, want 2", okAttempt)
+	}
+	// Queue drains to the cap at 10 ms, retry ≈11 ms, tx ≈8 ms behind the
+	// backlog, prop 50 ms → ≈78 ms. The old PTO-driven retry could not
+	// deliver before ≈0.24 s.
+	if at < 0 || at > 0.15 {
+		t.Fatalf("local-drop retry delivered at %v, want well under a PTO", at)
+	}
+}
+
+func TestLocalDropsCountedSeparatelyFromWireLoss(t *testing.T) {
+	// Wire loss (no queue overflow) must not touch LocalDrops.
+	c, clock := newTestConn(5e6, 0.3, 0.04, 2)
+	for i := 0; i < 50; i++ {
+		c.SendReliable(1000, func(float64, bool, int) {})
+	}
+	clock.RunUntilIdle()
+	if c.LocalDrops != 0 {
+		t.Fatalf("LocalDrops=%d on an uncongested link", c.LocalDrops)
+	}
+	if c.Retx == 0 {
+		t.Fatal("no wire-loss retransmissions at 30% loss")
+	}
+}
