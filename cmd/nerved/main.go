@@ -5,9 +5,14 @@
 // requests on SIGINT/SIGTERM; the client retries transient fetch failures
 // with backoff and degrades lost chunks to codes-only recovery.
 //
+// With -debug-addr the process additionally serves its telemetry —
+// per-stage latency histograms, fault counters, frame-deadline overruns —
+// plus expvar and pprof on a second, private listener (OBSERVABILITY.md).
+//
 // Usage:
 //
 //	nerved -listen :8080                          # serve
+//	nerved -listen :8080 -debug-addr :6060        # serve + debug endpoints
 //	nerved -play http://localhost:8080 -lose 2    # stream, losing chunk 2
 package main
 
@@ -23,22 +28,36 @@ import (
 
 	"nerve"
 	"nerve/internal/httpstream"
+	"nerve/internal/telemetry"
+	"nerve/internal/telemetry/teldebug"
 	"nerve/internal/video"
 )
 
 func main() {
 	var (
-		listen   = flag.String("listen", "", "address to serve on (e.g. :8080)")
-		play     = flag.String("play", "", "base URL of a nerved server to stream from")
-		lose     = flag.Int("lose", -1, "chunk index whose media path is lost (client mode)")
-		chunks   = flag.Int("chunks", 4, "stream length in chunks (server mode)")
-		category = flag.String("category", "GamePlay", "content category (server mode)")
-		seed     = flag.Int64("seed", 1, "content seed")
-		noRC     = flag.Bool("no-recovery", false, "disable the recovery model (client mode)")
-		retries  = flag.Int("retries", 3, "fetch attempts per request (client mode)")
-		timeout  = flag.Duration("timeout", 15*time.Second, "per-request timeout (client mode)")
+		listen    = flag.String("listen", "", "address to serve on (e.g. :8080)")
+		play      = flag.String("play", "", "base URL of a nerved server to stream from")
+		lose      = flag.Int("lose", -1, "chunk index whose media path is lost (client mode)")
+		chunks    = flag.Int("chunks", 4, "stream length in chunks (server mode)")
+		category  = flag.String("category", "GamePlay", "content category (server mode)")
+		seed      = flag.Int64("seed", 1, "content seed")
+		noRC      = flag.Bool("no-recovery", false, "disable the recovery model (client mode)")
+		retries   = flag.Int("retries", 3, "fetch attempts per request (client mode)")
+		timeout   = flag.Duration("timeout", 15*time.Second, "per-request timeout (client mode)")
+		debugAddr = flag.String("debug-addr", "", "serve /debug/telemetry, expvar and pprof on this address (opt-in)")
 	)
 	flag.Parse()
+
+	if *debugAddr != "" {
+		telemetry.Enable(true)
+		telemetry.SetDeadlineFPS(video.FPS)
+		go func() {
+			fmt.Printf("nerved: debug endpoints on %s (/debug/telemetry, /debug/vars, /debug/pprof/)\n", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, teldebug.Handler()); err != nil {
+				fmt.Fprintln(os.Stderr, "nerved: debug listener:", err)
+			}
+		}()
+	}
 
 	switch {
 	case *listen != "":

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"nerve/internal/qoe"
+	"nerve/internal/telemetry"
 	"nerve/internal/video"
 )
 
@@ -76,6 +77,7 @@ func (e *EnhancementAware) Reset() { e.lastUtility, e.started = 0, false }
 
 // SelectRate implements Algorithm.
 func (e *EnhancementAware) SelectRate(s State) int {
+	defer telemetry.Start(telemetry.StageABR).Stop()
 	n := numRates(s)
 	est := HarmonicMean(s.ThroughputHistory, 5)
 	if est <= 0 {

@@ -6,6 +6,7 @@ import (
 
 	"nerve/internal/bits"
 	"nerve/internal/par"
+	"nerve/internal/telemetry"
 	"nerve/internal/vmath"
 )
 
@@ -140,6 +141,7 @@ func (e *Encoder) frameBudget(t FrameType) float64 {
 // dimensions. Rate control adapts the quantiser toward the target bitrate,
 // re-encoding once when a frame lands far from its budget.
 func (e *Encoder) Encode(frame *vmath.Plane) *EncodedFrame {
+	defer telemetry.Start(telemetry.StageEncode).Stop()
 	if frame.W != e.cfg.W || frame.H != e.cfg.H {
 		panic(fmt.Sprintf("codec: frame %dx%d does not match config %dx%d", frame.W, frame.H, e.cfg.W, e.cfg.H))
 	}
@@ -495,6 +497,7 @@ func (d *Decoder) Reference() *vmath.Plane { return d.ref }
 // copying the reference (or mid-grey when there is none) and reported in
 // the mask so the recovery model can treat them as missing.
 func (d *Decoder) Decode(ef *EncodedFrame, received []bool) (*DecodeResult, error) {
+	defer telemetry.Start(telemetry.StageDecode).Stop()
 	if ef.W != d.cfg.W || ef.H != d.cfg.H {
 		return nil, fmt.Errorf("codec: encoded frame %dx%d does not match decoder %dx%d", ef.W, ef.H, d.cfg.W, d.cfg.H)
 	}

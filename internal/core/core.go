@@ -14,6 +14,7 @@ import (
 	"nerve/internal/edgecode"
 	"nerve/internal/recovery"
 	"nerve/internal/sr"
+	"nerve/internal/telemetry"
 	"nerve/internal/vmath"
 )
 
@@ -217,6 +218,9 @@ type Input struct {
 // the displayed frame. It never fails to produce a frame: a complete loss
 // yields a recovered (or reused) frame.
 func (c *Client) Next(in Input) (*FrameResult, error) {
+	// The whole of Next is one playout slot's processing: decode plus
+	// recovery/SR. This is the span the per-frame deadline measures.
+	defer telemetry.FrameStart().Done()
 	res := &FrameResult{Index: c.frameIdx}
 	dev := c.cfg.Device
 	c.total++

@@ -12,6 +12,7 @@ import (
 	"math"
 	"sort"
 
+	"nerve/internal/telemetry"
 	"nerve/internal/vmath"
 )
 
@@ -162,6 +163,7 @@ func (e *Extractor) Reset() { e.history = nil }
 // Extract computes the binary point code of a frame. The frame may be any
 // resolution; it is analysed at twice the code resolution and thinned.
 func (e *Extractor) Extract(frame *vmath.Plane) *Code {
+	defer telemetry.Start(telemetry.StageCode).Stop()
 	// Work at 2× code resolution for crisper edges, then pool down.
 	ww, wh := e.W*2, e.H*2
 	work := vmath.ResizeBilinear(frame, ww, wh)

@@ -4,7 +4,14 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"time"
+
+	"nerve/internal/telemetry"
 )
+
+// cExperiments counts harness runs; each run also emits an "experiment"
+// event carrying the experiment ID and its wall-clock milliseconds.
+var cExperiments = telemetry.NewCounter("experiments_run")
 
 // Runner executes one experiment and writes its rendered results.
 type Runner func(opts Options, w io.Writer) error
@@ -91,7 +98,12 @@ func Run(id string, opts Options, w io.Writer) error {
 	if !ok {
 		return fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, IDs())
 	}
-	return r(opts, w)
+	start := time.Now()
+	err := r(opts, w)
+	cExperiments.Add(1)
+	telemetry.Emit("experiment", telemetry.StageNone, id,
+		float64(time.Since(start))/1e6)
+	return err
 }
 
 // RunAll executes every experiment in ID order.

@@ -3,6 +3,8 @@ package fec
 import (
 	"fmt"
 	"math"
+
+	"nerve/internal/telemetry"
 )
 
 // Scheme is an erasure code over equal-size shards: k data shards in, k+m
@@ -65,6 +67,7 @@ func (p *Protected) TotalBytes() int { return (p.K + p.M) * p.ShardSize }
 // Protect wraps a frame's packets with FEC at the given redundancy ratio.
 // A zero redundancy yields a pass-through Protected with no parity.
 func Protect(packets [][]byte, redundancy float64, kind Kind) (*Protected, error) {
+	defer telemetry.Start(telemetry.StageFEC).Stop()
 	k := len(packets)
 	if k == 0 {
 		return nil, fmt.Errorf("fec: no packets to protect")
@@ -120,6 +123,7 @@ func Protect(packets [][]byte, redundancy float64, kind Kind) (*Protected, error
 // recovered (nil entries for unrecoverable packets) and whether the whole
 // frame was recovered.
 func (p *Protected) Recover(received []bool) ([][]byte, bool) {
+	defer telemetry.Start(telemetry.StageFEC).Stop()
 	if len(received) != p.K+p.M {
 		panic(fmt.Sprintf("fec: received mask %d != %d shards", len(received), p.K+p.M))
 	}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 
+	"nerve/internal/telemetry"
 	"nerve/internal/vmath"
 )
 
@@ -129,6 +130,7 @@ func (o Options) withDefaults() Options {
 // Estimate computes flow from prev to cur (both planes must share
 // dimensions): cur(x,y) ≈ prev(x+U, y+V).
 func Estimate(prev, cur *vmath.Plane, opts Options) *Field {
+	defer telemetry.Start(telemetry.StageFlow).Stop()
 	if prev.W != cur.W || prev.H != cur.H {
 		panic(fmt.Sprintf("flow: size mismatch %dx%d vs %dx%d", prev.W, prev.H, cur.W, cur.H))
 	}

@@ -29,8 +29,19 @@ import (
 	"nerve/internal/codec"
 	"nerve/internal/core"
 	"nerve/internal/edgecode"
+	"nerve/internal/telemetry"
 	"nerve/internal/video"
 	"nerve/internal/vmath"
+)
+
+// Telemetry counters of the fault-handling path (see OBSERVABILITY.md):
+// retries and degradations on the client, encodes and failed response
+// writes on the server.
+var (
+	cRetries   = telemetry.NewCounter("httpstream_retries")
+	cDegraded  = telemetry.NewCounter("httpstream_degraded_chunks")
+	cEncodes   = telemetry.NewCounter("httpstream_server_encodes")
+	cWriteErrs = telemetry.NewCounter("httpstream_server_write_errors")
 )
 
 // Manifest describes a stream to clients.
@@ -210,6 +221,7 @@ func (s *Server) segment(rate, n int) ([]byte, error) {
 				payload = append(payload, wire...)
 			}
 			s.encodes.Add(1)
+			cEncodes.Add(1)
 			s.cacheMu.Lock()
 			s.segs[[2]int{rate, sr.next}] = payload
 			s.cacheMu.Unlock()
@@ -268,6 +280,7 @@ func (s *Server) writePayload(w http.ResponseWriter, b []byte) {
 	w.Header().Set("Content-Length", strconv.Itoa(len(b)))
 	if _, err := w.Write(b); err != nil {
 		s.writeErrors.Add(1)
+		cWriteErrs.Add(1)
 	}
 }
 
@@ -287,6 +300,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		if err := json.NewEncoder(w).Encode(s.manifest); err != nil {
 			s.writeErrors.Add(1)
+			cWriteErrs.Add(1)
 		}
 	case "/segment":
 		rate, err1 := strconv.Atoi(r.URL.Query().Get("rate"))
@@ -453,6 +467,9 @@ func (c *Client) fetchOnce(path string) (body []byte, status int, err error) {
 // and seeded jitter up to MaxAttempts; permanent failures (4xx) return
 // immediately. Failures are reported as *FetchError.
 func (c *Client) fetch(path string) ([]byte, error) {
+	// The fetch span covers all attempts including backoff waits: it is
+	// the latency playback actually experienced for this resource.
+	defer telemetry.Start(telemetry.StageFetch).Stop()
 	var lastErr error
 	var lastStatus int
 	for attempt := 1; ; attempt++ {
@@ -468,6 +485,8 @@ func (c *Client) fetch(path string) ([]byte, error) {
 			return nil, &FetchError{Path: path, Attempts: attempt, Status: lastStatus, Transient: true, Err: lastErr}
 		}
 		c.retries.Add(1)
+		cRetries.Add(1)
+		telemetry.Emit("retry", telemetry.StageFetch, path, float64(attempt))
 		c.sleep(c.backoff.delay(attempt))
 	}
 }
@@ -529,6 +548,8 @@ func (c *Client) PlayChunk(n, rate int, lost bool) (*ChunkResult, error) {
 func (c *Client) fetchSegment(n, rate, wantFrames int, res *ChunkResult) ([][]byte, error) {
 	degrade := func(reason string) ([][]byte, error) {
 		c.degraded.Add(1)
+		cDegraded.Add(1)
+		telemetry.Emit("degraded", telemetry.StageFetch, reason, float64(n))
 		res.Degraded = true
 		res.DegradedReason = reason
 		res.Bytes = 0

@@ -13,14 +13,25 @@ import (
 // Peak is the maximum pixel value assumed by PSNR and SSIM.
 const Peak = 255.0
 
+// MaxPSNR is the ceiling PSNR reports: identical planes would be +Inf,
+// which encoding/json refuses to serialise (results emitters write PSNR
+// into JSON artefacts), so the metric saturates at 100 dB — far above any
+// lossy-path value, and finite everywhere.
+const MaxPSNR = 100.0
+
 // PSNR returns the peak signal-to-noise ratio between a reference and a
-// distorted plane, in dB. Identical planes return +Inf.
+// distorted plane, in dB, clamped to MaxPSNR (identical planes return
+// MaxPSNR, not +Inf, so results serialise as valid JSON).
 func PSNR(ref, dist *vmath.Plane) float64 {
 	mse := vmath.MSE(ref, dist)
 	if mse == 0 {
-		return math.Inf(1)
+		return MaxPSNR
 	}
-	return 10 * math.Log10(Peak*Peak/mse)
+	p := 10 * math.Log10(Peak*Peak/mse)
+	if p > MaxPSNR {
+		return MaxPSNR
+	}
+	return p
 }
 
 // ssimConsts are the standard stabilising constants from Wang et al. 2004.
@@ -95,11 +106,12 @@ type Series struct {
 	ssim []float64
 }
 
-// Observe records one frame's PSNR and SSIM. Infinite PSNR (identical
-// frames) is recorded as 100 dB so that means stay finite.
+// Observe records one frame's PSNR and SSIM. PSNR values above MaxPSNR
+// (including +Inf from external sources) are recorded as MaxPSNR so that
+// means stay finite.
 func (s *Series) Observe(psnr, ssim float64) {
-	if math.IsInf(psnr, 1) || psnr > 100 {
-		psnr = 100
+	if math.IsInf(psnr, 1) || psnr > MaxPSNR {
+		psnr = MaxPSNR
 	}
 	s.psnr = append(s.psnr, psnr)
 	s.ssim = append(s.ssim, ssim)

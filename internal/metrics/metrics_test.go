@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"math"
 	"math/rand"
 	"testing"
@@ -20,8 +21,24 @@ func randomPlane(rng *rand.Rand, w, h int) *vmath.Plane {
 func TestPSNRIdentical(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	p := randomPlane(rng, 16, 12)
-	if got := PSNR(p, p); !math.IsInf(got, 1) {
-		t.Fatalf("PSNR of identical planes = %v", got)
+	if got := PSNR(p, p); got != MaxPSNR {
+		t.Fatalf("PSNR of identical planes = %v, want clamped %v", got, MaxPSNR)
+	}
+}
+
+// PSNR feeds JSON results emitters; +Inf would make them emit invalid JSON,
+// so every PSNR value — including the identical-planes case — must marshal.
+func TestPSNRMarshalsAsJSON(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p := randomPlane(rng, 16, 12)
+	q := randomPlane(rng, 16, 12)
+	for _, v := range []float64{PSNR(p, p), PSNR(p, q)} {
+		if math.IsInf(v, 0) || math.IsNaN(v) {
+			t.Fatalf("PSNR produced non-finite value %v", v)
+		}
+		if _, err := json.Marshal(v); err != nil {
+			t.Fatalf("PSNR value %v does not marshal: %v", v, err)
+		}
 	}
 }
 

@@ -26,6 +26,7 @@ import (
 
 	"nerve/internal/edgecode"
 	"nerve/internal/flow"
+	"nerve/internal/telemetry"
 	"nerve/internal/vmath"
 	"nerve/internal/warp"
 )
@@ -119,6 +120,7 @@ func (r *Recoverer) Reuse(prev *vmath.Plane) *vmath.Plane {
 // prediction (no-code ablation); otherwise frame reuse. If Part/PartMask
 // are set, received regions override the prediction (partial concealment).
 func (r *Recoverer) Recover(in Input) *vmath.Plane {
+	defer telemetry.Start(telemetry.StageRecovery).Stop()
 	if in.Prev == nil {
 		panic("recovery: Input.Prev is required")
 	}

@@ -33,6 +33,7 @@ import (
 	"nerve/internal/fec"
 	"nerve/internal/netem"
 	"nerve/internal/qoe"
+	"nerve/internal/telemetry"
 	"nerve/internal/trace"
 	"nerve/internal/transport"
 	"nerve/internal/video"
@@ -209,8 +210,17 @@ type Result struct {
 	MeanStall float64
 }
 
+// Telemetry counters for the chunk simulator: sessions started and chunks
+// played (the simulator runs on a virtual clock, so wall-time stage
+// histograms cover only the real compute it triggers).
+var (
+	cSimSessions = telemetry.NewCounter("sim_sessions")
+	cSimChunks   = telemetry.NewCounter("sim_chunks")
+)
+
 // Run simulates one streaming session of the scheme over cfg.Trace.
 func Run(cfg Config, scheme Scheme) *Result {
+	cSimSessions.Add(1)
 	cfg = cfg.withDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	ge := netem.NewGilbertElliott(cfg.Seed + 1)
@@ -263,6 +273,7 @@ func Run(cfg Config, scheme Scheme) *Result {
 	)
 
 	for n := 0; n < cfg.Chunks; n++ {
+		cSimChunks.Add(1)
 		// Build the ABR state.
 		sizes := make([]int, len(video.Resolutions()))
 		for i, r := range video.Resolutions() {

@@ -23,6 +23,7 @@ import (
 
 	"nerve/internal/flow"
 	"nerve/internal/par"
+	"nerve/internal/telemetry"
 	"nerve/internal/vmath"
 	"nerve/internal/warp"
 )
@@ -104,6 +105,7 @@ func (s *SuperResolver) detailBoost(lrW int) float32 {
 // handled by resampling the temporal state (the rung switch the
 // enhancement-aware ABR performs).
 func (s *SuperResolver) Upscale(lr *vmath.Plane) *vmath.Plane {
+	defer telemetry.Start(telemetry.StageSR).Stop()
 	cfg := s.cfg
 	base := vmath.ResizeBicubic(lr, cfg.OutW, cfg.OutH)
 	out := base

@@ -1,0 +1,92 @@
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// deadline tracks per-frame wall time against the frame budget of an FPS
+// target: budget = 1s / fps. Frames longer than the budget are overruns —
+// the real-time claim of the paper (§7) is exactly "zero overruns at 30
+// FPS" — and the overrun sizes get their own histogram so a diagnosis can
+// distinguish a 1 ms slip from a 100 ms stall.
+type deadline struct {
+	budgetNanos atomic.Int64
+	fpsBits     atomic.Uint64 // float64 bits of the target FPS
+	overruns    atomic.Int64
+	frames      Histogram // all frame durations
+	over        Histogram // overrun amounts (duration - budget)
+}
+
+func (d *deadline) reset() {
+	d.overruns.Store(0)
+	d.frames.reset()
+	d.over.reset()
+}
+
+// SetDeadlineFPS sets the frame-rate target the deadline tracker measures
+// against. Non-positive fps panics.
+func (r *Registry) SetDeadlineFPS(fps float64) {
+	if fps <= 0 || math.IsNaN(fps) || math.IsInf(fps, 0) {
+		panic("telemetry: deadline FPS must be positive and finite")
+	}
+	r.dead.budgetNanos.Store(int64(float64(time.Second) / fps))
+	r.dead.fpsBits.Store(math.Float64bits(fps))
+}
+
+// DeadlineFPS returns the current frame-rate target.
+func (r *Registry) DeadlineFPS() float64 {
+	return math.Float64frombits(r.dead.fpsBits.Load())
+}
+
+// FrameBudget returns the per-frame time budget implied by the target.
+func (r *Registry) FrameBudget() time.Duration {
+	return time.Duration(r.dead.budgetNanos.Load())
+}
+
+// ObserveFrame records one frame's end-to-end processing time against the
+// deadline. An overrun increments the overrun count, feeds the overrun
+// histogram, and emits a "deadline_overrun" event (value = overrun ms)
+// when an event sink is attached.
+func (r *Registry) ObserveFrame(d time.Duration) {
+	if !r.enabled.Load() {
+		return
+	}
+	r.dead.frames.Observe(d)
+	if over := d - time.Duration(r.dead.budgetNanos.Load()); over > 0 {
+		r.dead.overruns.Add(1)
+		r.dead.over.Observe(over)
+		r.emit("deadline_overrun", "", "", float64(over)/1e6)
+	}
+}
+
+// Frames returns how many frames the deadline tracker has observed.
+func (r *Registry) Frames() int64 { return r.dead.frames.Count() }
+
+// Overruns returns how many observed frames exceeded the budget.
+func (r *Registry) Overruns() int64 { return r.dead.overruns.Load() }
+
+// FrameTimer measures one frame end to end. The zero FrameTimer (returned
+// while the registry is disabled) is inert.
+type FrameTimer struct {
+	r     *Registry
+	start time.Time
+}
+
+// FrameStart begins timing one frame; Done on the returned timer records
+// it against the deadline.
+func (r *Registry) FrameStart() FrameTimer {
+	if !r.enabled.Load() {
+		return FrameTimer{}
+	}
+	return FrameTimer{r: r, start: time.Now()}
+}
+
+// Done records the frame's elapsed wall time.
+func (t FrameTimer) Done() {
+	if t.r == nil {
+		return
+	}
+	t.r.ObserveFrame(time.Since(t.start))
+}

@@ -1,0 +1,106 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+	"time"
+)
+
+func TestDeadlineBudget(t *testing.T) {
+	r := New()
+	if got := r.DeadlineFPS(); got != 30 {
+		t.Fatalf("default FPS = %v, want 30", got)
+	}
+	r.SetDeadlineFPS(50)
+	if got := r.FrameBudget(); got != 20*time.Millisecond {
+		t.Fatalf("budget at 50 FPS = %v, want 20ms", got)
+	}
+	if got := r.DeadlineFPS(); got != 50 {
+		t.Fatalf("FPS = %v, want 50", got)
+	}
+}
+
+func TestSetDeadlineFPSPanics(t *testing.T) {
+	r := New()
+	for _, fps := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SetDeadlineFPS(%v) did not panic", fps)
+				}
+			}()
+			r.SetDeadlineFPS(fps)
+		}()
+	}
+}
+
+// TestDeadlineOverrunCounting feeds deterministic frame times against a
+// 20 ms budget: frames at or under budget are clean, frames over it count
+// as overruns and record their overrun amount (duration minus budget).
+func TestDeadlineOverrunCounting(t *testing.T) {
+	r := New()
+	r.Enable(true)
+	r.SetDeadlineFPS(50) // 20 ms budget
+	frames := []time.Duration{
+		5 * time.Millisecond,  // clean
+		20 * time.Millisecond, // exactly on budget: clean
+		21 * time.Millisecond, // 1 ms over
+		45 * time.Millisecond, // 25 ms over
+		10 * time.Millisecond, // clean
+	}
+	for _, d := range frames {
+		r.ObserveFrame(d)
+	}
+	if got := r.Frames(); got != int64(len(frames)) {
+		t.Fatalf("Frames = %d, want %d", got, len(frames))
+	}
+	if got := r.Overruns(); got != 2 {
+		t.Fatalf("Overruns = %d, want 2", got)
+	}
+	if got := r.dead.over.Max(); got != 25*time.Millisecond {
+		t.Fatalf("worst overrun = %v, want 25ms", got)
+	}
+	if got := r.dead.frames.Max(); got != 45*time.Millisecond {
+		t.Fatalf("worst frame = %v, want 45ms", got)
+	}
+}
+
+func TestDeadlineOverrunEmitsEvent(t *testing.T) {
+	r := New()
+	r.Enable(true)
+	r.SetDeadlineFPS(100) // 10 ms budget
+	var buf bytes.Buffer
+	r.SetEventSink(&buf)
+	r.ObserveFrame(5 * time.Millisecond) // clean: no event
+	r.ObserveFrame(14 * time.Millisecond)
+	var ev Event
+	if err := json.NewDecoder(&buf).Decode(&ev); err != nil {
+		t.Fatalf("decoding overrun event: %v", err)
+	}
+	if ev.Kind != "deadline_overrun" {
+		t.Fatalf("event kind = %q", ev.Kind)
+	}
+	if math.Abs(ev.Value-4) > 1e-9 { // 14 ms - 10 ms budget = 4 ms over
+		t.Fatalf("overrun value = %v ms, want 4", ev.Value)
+	}
+	if rest := buf.Len(); rest != 0 {
+		t.Fatalf("unexpected extra events: %q", buf.String())
+	}
+}
+
+func TestFrameTimerRecords(t *testing.T) {
+	r := New()
+	r.Enable(true)
+	r.SetDeadlineFPS(1000) // 1 ms budget: the sleep below must overrun
+	ft := r.FrameStart()
+	time.Sleep(3 * time.Millisecond)
+	ft.Done()
+	if r.Frames() != 1 {
+		t.Fatalf("Frames = %d, want 1", r.Frames())
+	}
+	if r.Overruns() != 1 {
+		t.Fatalf("Overruns = %d, want 1 (slept past the 1 ms budget)", r.Overruns())
+	}
+}

@@ -1,0 +1,76 @@
+// Integration test: drives real instrumented pipeline code (the codec)
+// against the Default registry and checks the spans actually land. Lives
+// in an external test package because internal/codec imports telemetry —
+// an in-package test would be an import cycle.
+package telemetry_test
+
+import (
+	"testing"
+	"time"
+
+	"nerve/internal/codec"
+	"nerve/internal/telemetry"
+	"nerve/internal/vmath"
+)
+
+func TestCodecRecordsIntoDefault(t *testing.T) {
+	// Default is process-global: claim it for the test and restore after.
+	telemetry.Default.Reset()
+	telemetry.Enable(true)
+	defer func() {
+		telemetry.Enable(false)
+		telemetry.Default.Reset()
+	}()
+
+	cfg := codec.Config{W: 64, H: 48, TargetBitrate: 200e3}
+	enc := codec.NewEncoder(cfg)
+	dec := codec.NewDecoder(cfg)
+	frame := vmath.NewPlane(64, 48)
+	for y := 0; y < 48; y++ {
+		for x := 0; x < 64; x++ {
+			frame.Set(x, y, float32((x*5+y*3)%256))
+		}
+	}
+	const frames = 3
+	for i := 0; i < frames; i++ {
+		ef := enc.Encode(frame)
+		if _, err := dec.Decode(ef, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	encH := telemetry.Default.StageHistogram(telemetry.StageEncode)
+	decH := telemetry.Default.StageHistogram(telemetry.StageDecode)
+	// Rate control may re-encode a frame that misses its bit budget, so
+	// encode spans are at least one per frame, not exactly one.
+	if encH.Count() < frames {
+		t.Errorf("encode spans = %d, want >= %d", encH.Count(), frames)
+	}
+	if decH.Count() != frames {
+		t.Errorf("decode spans = %d, want %d", decH.Count(), frames)
+	}
+	if encH.Sum() <= 0 || encH.Max() <= 0 {
+		t.Errorf("encode histogram empty of time: sum=%v max=%v", encH.Sum(), encH.Max())
+	}
+	if q := encH.Quantile(0.5); q <= 0 || q > time.Second {
+		t.Errorf("encode p50 = %v, outside sane range", q)
+	}
+
+	// The snapshot must carry the same numbers.
+	s := telemetry.Default.Snapshot()
+	if s.Stages[telemetry.StageDecode].Count != frames {
+		t.Errorf("snapshot decode count = %d, want %d", s.Stages[telemetry.StageDecode].Count, frames)
+	}
+}
+
+func TestDisabledDefaultCostsNothing(t *testing.T) {
+	telemetry.Default.Reset()
+	telemetry.Enable(false)
+	cfg := codec.Config{W: 32, H: 32, TargetBitrate: 100e3}
+	enc := codec.NewEncoder(cfg)
+	frame := vmath.NewPlane(32, 32)
+	enc.Encode(frame)
+	if n := telemetry.Default.StageHistogram(telemetry.StageEncode).Count(); n != 0 {
+		t.Fatalf("disabled Default recorded %d spans", n)
+	}
+}

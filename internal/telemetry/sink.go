@@ -1,0 +1,78 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one discrete telemetry occurrence, serialised as a single JSON
+// line by the event sink. Aggregates (histograms, counters) answer "how
+// much"; events answer "what happened, when, in what order" — a retry, a
+// degradation, a deadline overrun.
+type Event struct {
+	// UnixNano is the event's wall-clock timestamp.
+	UnixNano int64 `json:"t"`
+	// Kind names the occurrence (e.g. "retry", "degraded",
+	// "deadline_overrun", "experiment").
+	Kind string `json:"kind"`
+	// Stage is the metric name of the pipeline stage involved, when one
+	// applies.
+	Stage string `json:"stage,omitempty"`
+	// Detail carries free-form context (a path, a reason, an ID).
+	Detail string `json:"detail,omitempty"`
+	// Value carries the occurrence's magnitude when it has one
+	// (milliseconds for overruns and experiment spans, an attempt number
+	// for retries).
+	Value float64 `json:"value,omitempty"`
+}
+
+// eventSink serialises events as JSON lines under a mutex; event rates
+// are per-fault/per-experiment, not per-pixel, so a mutex is fine here.
+type eventSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// SetEventSink directs the registry's events to w as JSON lines (one
+// Event object per line). A nil w detaches the sink. Events are dropped
+// while no sink is attached or the registry is disabled.
+func (r *Registry) SetEventSink(w io.Writer) {
+	if w == nil {
+		r.sink.Store(nil)
+		return
+	}
+	r.sink.Store(&eventSink{enc: json.NewEncoder(w)})
+}
+
+// Emit records an event with an optional stage attribution.
+func (r *Registry) Emit(kind string, stage Stage, detail string, value float64) {
+	if !r.enabled.Load() {
+		return
+	}
+	name := ""
+	if stage >= 0 && stage < numStages {
+		name = stage.String()
+	}
+	r.emit(kind, name, detail, value)
+}
+
+func (r *Registry) emit(kind, stage, detail string, value float64) {
+	s := r.sink.Load()
+	if s == nil {
+		return
+	}
+	ev := Event{
+		UnixNano: time.Now().UnixNano(),
+		Kind:     kind,
+		Stage:    stage,
+		Detail:   detail,
+		Value:    value,
+	}
+	s.mu.Lock()
+	// Encode errors (a closed file, a full pipe) are deliberately
+	// swallowed: the sink must never fail the pipeline it observes.
+	_ = s.enc.Encode(ev)
+	s.mu.Unlock()
+}

@@ -1,0 +1,67 @@
+// Package teldebug serves the telemetry registry over HTTP for live
+// inspection of a running process — the opt-in `nerved -debug-addr`
+// surface. It is a separate package so that the hot-path packages, which
+// import internal/telemetry, do not pull net/http (and the DefaultServeMux
+// side effects of expvar and net/http/pprof) into every binary.
+//
+// Handler serves:
+//
+//	/debug/telemetry   telemetry.Default snapshot as indented JSON
+//	                   (the BENCH_telemetry.json schema)
+//	/debug/vars        expvar, including the "nerve_telemetry" variable
+//	/debug/pprof/*     the standard pprof profiles
+package teldebug
+
+import (
+	"expvar"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+
+	"nerve/internal/telemetry"
+)
+
+// publishOnce guards the expvar registration: expvar panics on duplicate
+// names, and Handler may be called more than once per process.
+var publishOnce sync.Once
+
+// Handler returns the debug mux. The telemetry snapshot is computed per
+// request, so polling /debug/telemetry watches the aggregates move.
+func Handler() http.Handler {
+	publishOnce.Do(func() {
+		expvar.Publish("nerve_telemetry", expvar.Func(func() any {
+			return telemetry.Default.Snapshot()
+		}))
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", index)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/telemetry", serveTelemetry)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func serveTelemetry(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := telemetry.Default.WriteJSON(w); err != nil {
+		// Headers are already out; nothing useful left to do.
+		return
+	}
+}
+
+func index(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, "nerve debug endpoints:\n"+
+		"  /debug/telemetry  stage timings, counters, frame deadline (JSON)\n"+
+		"  /debug/vars       expvar (includes nerve_telemetry)\n"+
+		"  /debug/pprof/     CPU/heap/goroutine profiles\n")
+}

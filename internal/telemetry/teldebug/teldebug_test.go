@@ -1,0 +1,88 @@
+package teldebug
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"nerve/internal/telemetry"
+)
+
+func get(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestDebugTelemetryEndpoint(t *testing.T) {
+	telemetry.Default.Reset()
+	telemetry.Enable(true)
+	defer func() {
+		telemetry.Enable(false)
+		telemetry.Default.Reset()
+	}()
+	telemetry.Default.Observe(telemetry.StageRecovery, 7*time.Millisecond)
+
+	h := Handler()
+	rec := get(t, h, "/debug/telemetry")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/debug/telemetry status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var s telemetry.Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &s); err != nil {
+		t.Fatalf("response is not a snapshot: %v", err)
+	}
+	if s.Schema != telemetry.SnapshotSchema {
+		t.Errorf("schema = %d, want %d", s.Schema, telemetry.SnapshotSchema)
+	}
+	if s.Stages[telemetry.StageRecovery].Count != 1 {
+		t.Errorf("recovery count = %d, want 1", s.Stages[telemetry.StageRecovery].Count)
+	}
+}
+
+func TestDebugVarsIncludesTelemetry(t *testing.T) {
+	rec := get(t, Handler(), "/debug/vars")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/debug/vars status = %d", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), `"nerve_telemetry"`) {
+		t.Error("/debug/vars does not expose nerve_telemetry")
+	}
+	var m map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &m); err != nil {
+		t.Fatalf("/debug/vars is not valid JSON: %v", err)
+	}
+}
+
+func TestDebugPprofIndex(t *testing.T) {
+	rec := get(t, Handler(), "/debug/pprof/")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status = %d", rec.Code)
+	}
+}
+
+func TestIndexAndNotFound(t *testing.T) {
+	h := Handler()
+	rec := get(t, h, "/")
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "/debug/telemetry") {
+		t.Errorf("index: status=%d body=%q", rec.Code, rec.Body.String())
+	}
+	if rec := get(t, h, "/no-such-page"); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown path status = %d, want 404", rec.Code)
+	}
+}
+
+// Handler may be called more than once per process (each nerved invocation
+// path); the expvar registration must not panic the second time.
+func TestHandlerIdempotent(t *testing.T) {
+	_ = Handler()
+	_ = Handler()
+}

@@ -1,0 +1,190 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDisabledRegistryRecordsNothing(t *testing.T) {
+	r := New()
+	r.Start(StageEncode).Stop()
+	r.Observe(StageFlow, time.Millisecond)
+	r.FrameStart().Done()
+	r.ObserveFrame(time.Second)
+	c := r.Counter("events")
+	c.Add(5)
+	var buf bytes.Buffer
+	r.SetEventSink(&buf)
+	r.Emit("retry", StageFetch, "x", 1)
+	if n := r.StageHistogram(StageEncode).Count(); n != 0 {
+		t.Errorf("disabled registry recorded %d encode spans", n)
+	}
+	if n := r.StageHistogram(StageFlow).Count(); n != 0 {
+		t.Errorf("disabled registry recorded %d flow spans", n)
+	}
+	if r.Frames() != 0 || r.Overruns() != 0 {
+		t.Errorf("disabled registry tracked frames: %d/%d", r.Frames(), r.Overruns())
+	}
+	if c.Value() != 0 {
+		t.Errorf("disabled counter = %d", c.Value())
+	}
+	if buf.Len() != 0 {
+		t.Errorf("disabled registry emitted event: %q", buf.String())
+	}
+}
+
+func TestEnabledRegistryRecords(t *testing.T) {
+	r := New()
+	r.Enable(true)
+	r.Observe(StageSR, 3*time.Millisecond)
+	r.Observe(StageSR, 5*time.Millisecond)
+	h := r.StageHistogram(StageSR)
+	if h.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", h.Count())
+	}
+	if h.Sum() != 8*time.Millisecond {
+		t.Fatalf("Sum = %v, want 8ms", h.Sum())
+	}
+	tm := r.Start(StageDecode)
+	tm.Stop()
+	if r.StageHistogram(StageDecode).Count() != 1 {
+		t.Fatal("timer span not recorded")
+	}
+}
+
+func TestZeroTimersInert(t *testing.T) {
+	var tm Timer
+	tm.Stop() // must not panic
+	var ft FrameTimer
+	ft.Done() // must not panic
+}
+
+func TestCounterIdentityAndReset(t *testing.T) {
+	r := New()
+	r.Enable(true)
+	a := r.Counter("retries")
+	b := r.Counter("retries")
+	if a != b {
+		t.Fatal("Counter must return the same handle for the same name")
+	}
+	a.Add(3)
+	b.Add(2)
+	if a.Value() != 5 {
+		t.Fatalf("Value = %d, want 5", a.Value())
+	}
+	r.Observe(StageWarp, time.Millisecond)
+	r.ObserveFrame(time.Millisecond)
+	r.Reset()
+	if a.Value() != 0 || r.StageHistogram(StageWarp).Count() != 0 || r.Frames() != 0 {
+		t.Fatal("Reset must zero counters, histograms and the deadline tracker")
+	}
+	if !r.Enabled() {
+		t.Fatal("Reset must not disable the registry")
+	}
+}
+
+func TestStageString(t *testing.T) {
+	want := map[Stage]string{
+		StageEncode: "encode", StageDecode: "decode", StageCode: "code",
+		StageFlow: "flow", StageWarp: "warp", StageSR: "sr",
+		StageRecovery: "recovery", StageFEC: "fec", StageFetch: "fetch",
+		StageABR: "abr",
+	}
+	for s, name := range want {
+		if s.String() != name {
+			t.Errorf("Stage(%d).String() = %q, want %q", int(s), s.String(), name)
+		}
+	}
+	if len(Stages()) != len(want) {
+		t.Errorf("Stages() returned %d stages, want %d", len(Stages()), len(want))
+	}
+	if StageNone.String() != "Stage(-1)" {
+		t.Errorf("StageNone.String() = %q", StageNone.String())
+	}
+}
+
+func TestInvalidStagePanics(t *testing.T) {
+	r := New()
+	for _, f := range []func(){
+		func() { r.Start(StageNone) },
+		func() { r.Observe(Stage(99), 0) },
+		func() { r.StageHistogram(StageNone) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for invalid stage")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestEventSinkJSONLines(t *testing.T) {
+	r := New()
+	r.Enable(true)
+	var buf bytes.Buffer
+	r.SetEventSink(&buf)
+	r.Emit("retry", StageFetch, "/segment/3", 2)
+	r.Emit("experiment", StageNone, "fig7", 120.5)
+	dec := json.NewDecoder(&buf)
+	var ev Event
+	if err := dec.Decode(&ev); err != nil {
+		t.Fatalf("first event line: %v", err)
+	}
+	if ev.Kind != "retry" || ev.Stage != "fetch" || ev.Detail != "/segment/3" || ev.Value != 2 {
+		t.Fatalf("first event = %+v", ev)
+	}
+	var ev2 Event // fresh struct: omitted fields must stay zero
+	if err := dec.Decode(&ev2); err != nil {
+		t.Fatalf("second event line: %v", err)
+	}
+	if ev2.Kind != "experiment" || ev2.Stage != "" || ev2.Detail != "fig7" {
+		t.Fatalf("second event = %+v", ev2)
+	}
+	// Detaching the sink drops further events.
+	r.SetEventSink(nil)
+	before := buf.Len()
+	r.Emit("retry", StageFetch, "", 1)
+	if buf.Len() != before {
+		t.Fatal("detached sink still received an event")
+	}
+}
+
+// TestRegistryConcurrent races timers, counters, frame observations,
+// events and snapshots against each other; the CI race gate makes this a
+// memory-safety proof, not just a liveness smoke.
+func TestRegistryConcurrent(t *testing.T) {
+	r := New()
+	r.Enable(true)
+	var buf bytes.Buffer
+	r.SetEventSink(&buf)
+	c := r.Counter("races")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Observe(Stage(i%int(numStages)), time.Duration(i)*time.Microsecond)
+				c.Add(1)
+				r.ObserveFrame(time.Duration(i) * 100 * time.Microsecond)
+				if i%100 == 0 {
+					r.Emit("tick", StageNone, "", float64(i))
+					_ = r.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Value() != 8*500 {
+		t.Fatalf("counter = %d, want %d", c.Value(), 8*500)
+	}
+	if r.Frames() != 8*500 {
+		t.Fatalf("frames = %d, want %d", r.Frames(), 8*500)
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"nerve/internal/flow"
 	"nerve/internal/par"
+	"nerve/internal/telemetry"
 	"nerve/internal/vmath"
 )
 
@@ -19,6 +20,7 @@ import (
 // where the warp had no reliable source (out of bounds or low confidence) —
 // the regions the inpainting branch must fill.
 func Backward(src *vmath.Plane, f *flow.Field, confThreshold float32) (out, valid *vmath.Plane) {
+	defer telemetry.Start(telemetry.StageWarp).Stop()
 	if src.W != f.W || src.H != f.H {
 		panic(fmt.Sprintf("warp: plane %dx%d vs field %dx%d", src.W, src.H, f.W, f.H))
 	}
