@@ -1,0 +1,151 @@
+// Command benchjson converts `go test -bench -benchmem` text output into a
+// stable JSON artifact, so CI can record the perf trajectory — ns/op,
+// B/op and allocs/op per benchmark — machine-readably next to the raw
+// bench.txt (see the bench-smoke job in .github/workflows/ci.yml).
+//
+// Usage:
+//
+//	go test -bench=. -benchmem ./... | go run ./cmd/benchjson -out BENCH_bench.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line. CPUs is the -cpu value encoded in
+// the name suffix (GOMAXPROCS), 1 when the name carries no suffix.
+// BytesPerOp/AllocsPerOp are -1 when the run lacked -benchmem.
+type Benchmark struct {
+	Pkg         string  `json:"pkg,omitempty"`
+	Name        string  `json:"name"`
+	CPUs        int     `json:"cpus"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type output struct {
+	GoOS       string      `json:"goos,omitempty"`
+	GoArch     string      `json:"goarch,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	in := flag.String("in", "-", "bench output to read (- for stdin)")
+	out := flag.String("out", "-", "JSON file to write (- for stdout)")
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	res, err := parse(r)
+	if err != nil {
+		fatal(err)
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
+
+// parse scans go-test bench output. Interesting lines:
+//
+//	goos: linux
+//	goarch: amd64
+//	pkg: nerve/internal/codec
+//	BenchmarkEncode160x96-4   100  1234567 ns/op  2345 B/op  67 allocs/op
+//
+// Everything else (PASS, ok, harness prints) is skipped.
+func parse(r io.Reader) (*output, error) {
+	res := &output{Benchmarks: []Benchmark{}}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			res.GoOS = strings.TrimPrefix(line, "goos: ")
+			continue
+		case strings.HasPrefix(line, "goarch: "):
+			res.GoArch = strings.TrimPrefix(line, "goarch: ")
+			continue
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		b, ok := parseLine(line)
+		if !ok {
+			continue
+		}
+		b.Pkg = pkg
+		res.Benchmarks = append(res.Benchmarks, b)
+	}
+	return res, sc.Err()
+}
+
+func parseLine(line string) (Benchmark, bool) {
+	f := strings.Fields(line)
+	// Minimum: name, iterations, value, "ns/op".
+	if len(f) < 4 {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: f[0], CPUs: 1, BytesPerOp: -1, AllocsPerOp: -1}
+	if i := strings.LastIndex(b.Name, "-"); i > 0 {
+		if n, err := strconv.Atoi(b.Name[i+1:]); err == nil && n > 0 {
+			b.Name, b.CPUs = b.Name[:i], n
+		}
+	}
+	it, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b.Iterations = it
+	// The rest are value/unit pairs.
+	sawNs := false
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		switch f[i+1] {
+		case "ns/op":
+			b.NsPerOp = v
+			sawNs = true
+		case "B/op":
+			b.BytesPerOp = int64(v)
+		case "allocs/op":
+			b.AllocsPerOp = int64(v)
+		}
+	}
+	return b, sawNs
+}

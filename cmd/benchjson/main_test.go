@@ -1,0 +1,60 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: nerve/internal/codec
+BenchmarkMotionSearch      	     100	   1234567 ns/op	    2048 B/op	      12 allocs/op
+BenchmarkMotionSearch-4    	     400	    456789 ns/op	    2100 B/op	      14 allocs/op
+PASS
+ok  	nerve/internal/codec	1.234s
+pkg: nerve/internal/sr
+BenchmarkUpscale-4         	      50	  22334455 ns/op
+some harness chatter that is not a bench line
+ok  	nerve/internal/sr	2.345s
+`
+
+func TestParse(t *testing.T) {
+	res, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GoOS != "linux" || res.GoArch != "amd64" {
+		t.Fatalf("goos/goarch = %q/%q", res.GoOS, res.GoArch)
+	}
+	if len(res.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(res.Benchmarks))
+	}
+	b := res.Benchmarks[0]
+	if b.Name != "BenchmarkMotionSearch" || b.CPUs != 1 || b.Iterations != 100 ||
+		b.NsPerOp != 1234567 || b.BytesPerOp != 2048 || b.AllocsPerOp != 12 ||
+		b.Pkg != "nerve/internal/codec" {
+		t.Fatalf("first bench parsed wrong: %+v", b)
+	}
+	if b := res.Benchmarks[1]; b.CPUs != 4 || b.Name != "BenchmarkMotionSearch" {
+		t.Fatalf("-cpu suffix not split: %+v", b)
+	}
+	// No -benchmem on the sr run: alloc columns are marked absent, pkg
+	// tracking follows the pkg: header.
+	if b := res.Benchmarks[2]; b.BytesPerOp != -1 || b.AllocsPerOp != -1 ||
+		b.Pkg != "nerve/internal/sr" || b.NsPerOp != 22334455 {
+		t.Fatalf("sr bench parsed wrong: %+v", b)
+	}
+}
+
+func TestParseLineRejectsGarbage(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkX",
+		"BenchmarkX notanumber 5 ns/op",
+		"BenchmarkX 10 nan-ish ns/op",
+		"BenchmarkX 10 5 B/op", // no ns/op
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("parseLine accepted %q", line)
+		}
+	}
+}

@@ -81,6 +81,11 @@ type EncodedFrame struct {
 	Slices []Slice
 	// Recon is the encoder-side reconstruction: the frame a decoder
 	// produces when every slice arrives. Useful for quality accounting.
+	//
+	// Ownership: Recon comes from the plane pool and belongs to the
+	// caller, but the encoder keeps it as the prediction reference for the
+	// following frame — do not vmath.Put it (or mutate it) until the next
+	// Encode call on the same encoder has returned.
 	Recon *vmath.Plane
 }
 
@@ -159,6 +164,9 @@ func (e *Encoder) Encode(frame *vmath.Plane) *EncodedFrame {
 	bitsUsed := float64(ef.TotalBytes() * 8)
 	if bitsUsed > 1.5*budget || bitsUsed < 0.5*budget {
 		q = clampQ(q * float32(math.Pow(bitsUsed/budget, 0.8)))
+		// The first attempt is discarded whole; recycle its
+		// reconstruction rather than leaving a full frame to the GC.
+		vmath.Put(ef.Recon)
 		ef = e.encodeAttempt(frame, ftype, q)
 		bitsUsed = float64(ef.TotalBytes() * 8)
 	}
@@ -200,7 +208,10 @@ func clampQ(q float32) float32 {
 // same byte thresholds the sequential encoder used, producing a
 // bit-identical stream for any pool size.
 func (e *Encoder) encodeAttempt(frame *vmath.Plane, ftype FrameType, q float32) *EncodedFrame {
-	recon := vmath.NewPlane(e.cfg.W, e.cfg.H)
+	// Every pixel of recon is written below (the macroblock grid covers the
+	// frame and each mode reconstructs its whole clipped block), so a dirty
+	// pooled plane is safe.
+	recon := vmath.Get(e.cfg.W, e.cfg.H)
 	ef := &EncodedFrame{Type: ftype, W: e.cfg.W, H: e.cfg.H, Recon: recon}
 
 	rowW := make([]bits.Writer, e.mbRows)
@@ -438,6 +449,12 @@ func clamp255(v float32) float32 {
 
 // DecodeResult carries a decoded frame plus the per-pixel received mask
 // (1 = reconstructed from received data, 0 = missing/concealed).
+//
+// Ownership: both planes come from the plane pool and belong to the
+// caller. Mask may be vmath.Put as soon as the caller is done with it.
+// Frame doubles as the decoder's prediction reference for the next frame
+// (unless SetReference replaces it first), so it must not be Put or
+// mutated while it may still be the live reference.
 type DecodeResult struct {
 	Frame *vmath.Plane
 	Mask  *vmath.Plane
@@ -480,7 +497,9 @@ func NewDecoder(cfg Config) *Decoder {
 }
 
 // SetReference overrides the prediction reference for the next frame
-// (e.g. with the output of the recovery model).
+// (e.g. with the output of the recovery model). The decoder only ever
+// reads the reference — it borrows p; the caller keeps ownership and must
+// simply not vmath.Put or mutate it while it remains the reference.
 func (d *Decoder) SetReference(p *vmath.Plane) {
 	if p != nil && (p.W != d.cfg.W || p.H != d.cfg.H) {
 		panic("codec: reference size mismatch")
@@ -504,14 +523,17 @@ func (d *Decoder) Decode(ef *EncodedFrame, received []bool) (*DecodeResult, erro
 	if received != nil && len(received) != len(ef.Slices) {
 		return nil, fmt.Errorf("codec: received mask length %d != %d slices", len(received), len(ef.Slices))
 	}
-	out := vmath.NewPlane(d.cfg.W, d.cfg.H)
+	// out is fully written here (reference copy or grey fill), so a dirty
+	// pooled plane is safe; mask is only written where rows arrive, so it
+	// must start zeroed.
+	out := vmath.Get(d.cfg.W, d.cfg.H)
 	// Conceal by default: copy reference or fill grey.
 	if d.ref != nil {
 		copy(out.Pix, d.ref.Pix)
 	} else {
 		out.Fill(128)
 	}
-	mask := vmath.NewPlane(d.cfg.W, d.cfg.H)
+	mask := vmath.GetZeroed(d.cfg.W, d.cfg.H)
 	res := &DecodeResult{Frame: out, Mask: mask, RowsTotal: d.mbRows}
 
 	for si := range ef.Slices {

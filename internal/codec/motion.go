@@ -98,18 +98,25 @@ func searchMV(cur, ref *vmath.Plane, cx, cy int, pred MV, maxRange int) (MV, int
 	return best, bestSAD
 }
 
-// SearchFrame motion-searches every macroblock of cur against ref and
-// returns the vectors in macroblock raster order. Rows run concurrently on
-// the shared pool — the same row-of-macroblocks granularity the encoder
-// uses — and within a row each search is seeded by the previous block's
-// vector, so the result is identical for any pool size.
-func SearchFrame(cur, ref *vmath.Plane, maxRange int) []MV {
+// SearchFrameInto motion-searches every macroblock of cur against ref into
+// the caller-supplied scratch mvs, growing it only when too small, and
+// returns the vectors in macroblock raster order. Per-frame callers keep
+// the returned slice and pass it back the next frame for a zero-allocation
+// steady state. Rows run concurrently on the shared pool — the same
+// row-of-macroblocks granularity the encoder uses — and within a row each
+// search is seeded by the previous block's vector, so the result is
+// identical for any pool size.
+func SearchFrameInto(mvs []MV, cur, ref *vmath.Plane, maxRange int) []MV {
 	if cur.W != ref.W || cur.H != ref.H {
 		panic("codec: SearchFrame plane size mismatch")
 	}
 	mbRows := (cur.H + MBSize - 1) / MBSize
 	mbCols := (cur.W + MBSize - 1) / MBSize
-	mvs := make([]MV, mbRows*mbCols)
+	n := mbRows * mbCols
+	if cap(mvs) < n {
+		mvs = make([]MV, n)
+	}
+	mvs = mvs[:n]
 	par.For(mbRows, func(row int) {
 		pred := MV{}
 		for col := 0; col < mbCols; col++ {
@@ -119,4 +126,10 @@ func SearchFrame(cur, ref *vmath.Plane, maxRange int) []MV {
 		}
 	})
 	return mvs
+}
+
+// SearchFrame motion-searches every macroblock of cur against ref and
+// returns the vectors in macroblock raster order.
+func SearchFrame(cur, ref *vmath.Plane, maxRange int) []MV {
+	return SearchFrameInto(nil, cur, ref, maxRange)
 }

@@ -135,7 +135,9 @@ func (c FrameClass) String() string {
 type FrameResult struct {
 	Index int
 	Class FrameClass
-	// Frame is the displayed frame at OutW×OutH.
+	// Frame is the displayed frame at OutW×OutH. It is owned by the caller
+	// and never retained or recycled by the client, so callers that are done
+	// with it may vmath.Put it back into the plane pool.
 	Frame *vmath.Plane
 	// ProcessSeconds is the modelled device time spent on the frame
 	// (decode + recovery/SR inference).
@@ -226,10 +228,11 @@ func (c *Client) Next(in Input) (*FrameResult, error) {
 	c.total++
 
 	var outTx *vmath.Plane // displayed frame at transmission resolution
+	var staleRef *vmath.Plane
 	switch {
 	case in.Encoded == nil && c.prevOut == nil:
 		// Nothing at all yet: grey start-up frame.
-		outTx = vmath.NewPlane(c.cfg.W, c.cfg.H)
+		outTx = vmath.Get(c.cfg.W, c.cfg.H)
 		outTx.Fill(128)
 		res.Class = ClassReused
 	case in.Encoded == nil:
@@ -247,13 +250,19 @@ func (c *Client) Next(in Input) (*FrameResult, error) {
 		} else {
 			outTx = c.conceal(dr.Frame, dr.Mask, in.Code, res)
 			res.Class = ClassPartial
+			// The corrupted decode stays the decoder's reference until
+			// SetReference below swaps in the concealed frame.
+			staleRef = dr.Frame
 		}
+		vmath.Put(dr.Mask)
 	}
 
 	// Feed the decoder the displayed frame as the next reference (the
 	// paper's client substitutes the recovered frame for the missing
-	// reference).
-	c.dec.SetReference(outTx.Clone())
+	// reference). The decoder only reads its reference, so the displayed
+	// frame is shared with it rather than cloned.
+	c.dec.SetReference(outTx)
+	vmath.Put(staleRef)
 
 	// Super-resolution stage.
 	display := outTx
@@ -264,10 +273,17 @@ func (c *Client) Next(in Input) (*FrameResult, error) {
 			res.Class = ClassSR
 		}
 	} else if c.cfg.OutW != c.cfg.W || c.cfg.OutH != c.cfg.H {
-		display = vmath.ResizeBilinear(outTx, c.cfg.OutW, c.cfg.OutH)
+		display = vmath.ResizeBilinearInto(vmath.Get(c.cfg.OutW, c.cfg.OutH), outTx)
 	}
 
-	// Advance temporal state.
+	// Advance temporal state. The plane rotated out of prevPrev is no
+	// longer referenced by the decoder (two SetReference calls ago) or the
+	// recovery model (which never retains its inputs); it can go back to
+	// the pool unless it escaped to the caller as a displayed frame, which
+	// happens exactly when display aliases outTx (no SR stage, no resize).
+	if old := c.prevPrev; old != nil && (c.srr != nil || c.cfg.OutW != c.cfg.W || c.cfg.OutH != c.cfg.H) {
+		vmath.Put(old)
+	}
 	c.prevPrev = c.prevOut
 	c.prevOut = outTx
 	if in.Code != nil {
@@ -290,11 +306,11 @@ func (c *Client) conceal(part, mask *vmath.Plane, code *edgecode.Code, res *Fram
 	if !c.cfg.EnableRecovery || c.prevOut == nil {
 		res.Class = ClassReused
 		if c.prevOut == nil {
-			p := vmath.NewPlane(c.cfg.W, c.cfg.H)
+			p := vmath.Get(c.cfg.W, c.cfg.H)
 			p.Fill(128)
 			return p
 		}
-		out := c.prevOut.Clone()
+		out := vmath.Get(c.prevOut.W, c.prevOut.H).CopyFrom(c.prevOut)
 		if part != nil && mask != nil {
 			// Even the reuse client keeps correctly received regions.
 			for i := range out.Pix {

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"runtime/debug"
+	"testing"
+
+	"nerve/internal/par"
+	"nerve/internal/video"
+	"nerve/internal/vmath"
+)
+
+// TestSteadyStateZeroPlaneAllocs is the end-to-end proof of the pooled
+// memory model: a warmed-up client running the full decode → recover → SR
+// pipeline performs zero plane backing-array allocations per frame. Every
+// per-frame plane comes from the pool and goes back to it.
+//
+// The schedule deliberately walks all three input paths (complete, partial,
+// complete loss) in both the warm-up and the measured window, so the
+// recovery and concealment scratch planes are warm too. GC is disabled
+// during the measured window so sync.Pool cannot evict warm buffers
+// mid-measurement, and the worker pool is pinned to one goroutine so
+// bucket reuse is deterministic.
+func TestSteadyStateZeroPlaneAllocs(t *testing.T) {
+	if vmath.RaceEnabled {
+		t.Skip("sync.Pool drops random Puts under -race; steady state is not allocation-free there")
+	}
+	defer par.SetWorkers(1)()
+
+	const frames = 18
+	// Small payloads force several slices per frame so dropped slices give
+	// genuinely partial frames.
+	srv, err := NewServer(ServerConfig{W: tw, H: th, TargetBitrate: 1200e3, GOP: 60, PacketPayload: 250})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Produce all server frames before the measured window: the client is
+	// the system under test.
+	g := video.NewGenerator(video.Categories()[3], 9)
+	sfs := make([]*ServerFrame, frames)
+	for i := range sfs {
+		if sfs[i], err = srv.Process(g.Render(i, tw, th)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	cli, err := NewClient(ClientConfig{
+		W: tw, H: th,
+		OutW: tw * 2, OutH: th * 2,
+		EnableRecovery: true,
+		EnableSR:       true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	input := func(i int) Input {
+		sf := sfs[i]
+		in := Input{Encoded: sf.Encoded, Code: sf.Code}
+		switch i % 5 {
+		case 2: // complete loss
+			in.Encoded = nil
+		case 4: // partial: drop every third slice
+			recv := make([]bool, len(sf.Encoded.Slices))
+			for j := range recv {
+				recv[j] = j%3 != 1
+			}
+			recv[0] = true
+			in.Received = recv
+		}
+		return in
+	}
+
+	step := func(i int) {
+		res, err := cli.Next(input(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Frame.W != tw*2 || res.Frame.H != th*2 {
+			t.Fatalf("frame %d geometry %dx%d", i, res.Frame.W, res.Frame.H)
+		}
+		// The displayed frame is caller-owned; returning it keeps the
+		// display bucket warm, exactly like a real render loop would.
+		vmath.Put(res.Frame)
+	}
+
+	const warm = 8 // covers decoded, partial and lost paths at least once
+	for i := 0; i < warm; i++ {
+		step(i)
+	}
+
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	before := vmath.PlaneAllocs()
+	for i := warm; i < frames; i++ {
+		step(i)
+	}
+	if d := vmath.PlaneAllocs() - before; d != 0 {
+		t.Fatalf("steady-state client loop allocated %d plane backing arrays over %d frames, want 0", d, frames-warm)
+	}
+}

@@ -80,9 +80,10 @@ func (c *Code) Density() float64 {
 func (c *Code) SizeBytes() int { return len(c.Bits) }
 
 // Plane renders the code as a float plane with set bits at 255, for flow
-// estimation and visualisation.
+// estimation and visualisation. The plane comes from the plane pool and is
+// owned by the caller (vmath.Put it when done, or let the GC have it).
 func (c *Code) Plane() *vmath.Plane {
-	p := vmath.NewPlane(c.W, c.H)
+	p := vmath.GetZeroed(c.W, c.H)
 	for y := 0; y < c.H; y++ {
 		for x := 0; x < c.W; x++ {
 			if c.Get(x, y) {
@@ -94,9 +95,13 @@ func (c *Code) Plane() *vmath.Plane {
 }
 
 // SoftPlane renders the code blurred, which makes block-matching between
-// codes better conditioned than on raw binary dots.
+// codes better conditioned than on raw binary dots. The plane is
+// pool-backed and caller-owned, like Plane.
 func (c *Code) SoftPlane() *vmath.Plane {
-	return vmath.GaussianBlur(c.Plane(), 0.8)
+	p := c.Plane()
+	// In-place blur: ConvolveSeparableInto materialises the horizontal
+	// pass into pooled scratch first, so dst may alias src.
+	return vmath.GaussianBlurInto(p, p, 0.8)
 }
 
 // MarshalBinary encodes the code with a 4-byte geometry header.
@@ -142,7 +147,9 @@ type Extractor struct {
 	// one (0 = stateless).
 	HistoryWeight float64
 
-	history *vmath.Plane // He
+	history *vmath.Plane // He; persistent pooled plane, refreshed in place
+
+	sortScratch []float64 // percentile scratch, reused across frames
 }
 
 // NewExtractor returns an extractor producing w×h codes. Zero w/h select
@@ -158,21 +165,26 @@ func NewExtractor(w, h int) *Extractor {
 }
 
 // Reset clears the temporal history (use at scene cuts / stream start).
-func (e *Extractor) Reset() { e.history = nil }
+func (e *Extractor) Reset() {
+	vmath.Put(e.history)
+	e.history = nil
+}
 
 // Extract computes the binary point code of a frame. The frame may be any
 // resolution; it is analysed at twice the code resolution and thinned.
 func (e *Extractor) Extract(frame *vmath.Plane) *Code {
 	defer telemetry.Start(telemetry.StageCode).Stop()
-	// Work at 2× code resolution for crisper edges, then pool down.
+	// Work at 2× code resolution for crisper edges, then pool down. All
+	// intermediates live in pooled planes for the duration of the call.
 	ww, wh := e.W*2, e.H*2
-	work := vmath.ResizeBilinear(frame, ww, wh)
-	grad := vmath.GradientMagnitude(work)
+	work := vmath.ResizeBilinearInto(vmath.Get(ww, wh), frame)
+	grad := vmath.GradientMagnitudeInto(vmath.Get(ww, wh), work)
 
 	// Non-maximum thinning: keep a pixel only if it is the maximum of its
 	// 3×3 neighbourhood along the dominant gradient axis (cheap variant:
-	// max of horizontal/vertical neighbours).
-	thin := vmath.NewPlane(ww, wh)
+	// max of horizontal/vertical neighbours). Only maxima are written, so
+	// the plane must start zeroed.
+	thin := vmath.GetZeroed(ww, wh)
 	for y := 0; y < wh; y++ {
 		for x := 0; x < ww; x++ {
 			g := grad.At(x, y)
@@ -183,8 +195,8 @@ func (e *Extractor) Extract(frame *vmath.Plane) *Code {
 		}
 	}
 
-	// Pool 2×2 max down to code resolution.
-	pooled := vmath.NewPlane(e.W, e.H)
+	// Pool 2×2 max down to code resolution (every pixel written).
+	pooled := vmath.Get(e.W, e.H)
 	for y := 0; y < e.H; y++ {
 		for x := 0; x < e.W; x++ {
 			m := thin.At(2*x, 2*y)
@@ -202,14 +214,20 @@ func (e *Extractor) Extract(frame *vmath.Plane) *Code {
 	}
 
 	// Temporal history He: blend with the previous gradient field so the
-	// code carries motion-stable contours.
+	// code carries motion-stable contours. Lerp is elementwise, so dst may
+	// alias its first operand; the history plane is persistent pooled
+	// state refreshed in place instead of recloned every frame.
 	if e.history != nil && e.HistoryWeight > 0 {
-		pooled = vmath.Lerp(nil, pooled, e.history, float32(e.HistoryWeight))
+		vmath.Lerp(pooled, pooled, e.history, float32(e.HistoryWeight))
 	}
-	e.history = pooled.Clone()
+	if e.history == nil || e.history.W != e.W || e.history.H != e.H {
+		vmath.Put(e.history)
+		e.history = vmath.Get(e.W, e.H)
+	}
+	e.history.CopyFrom(pooled)
 
 	// Adaptive threshold at the (1-TargetDensity) percentile.
-	thresh := percentile(pooled.Pix, 1-e.TargetDensity)
+	thresh := e.percentile(pooled.Pix, 1-e.TargetDensity)
 	if thresh < 1e-3 {
 		thresh = 1e-3
 	}
@@ -221,14 +239,23 @@ func (e *Extractor) Extract(frame *vmath.Plane) *Code {
 			}
 		}
 	}
+	vmath.Put(work)
+	vmath.Put(grad)
+	vmath.Put(thin)
+	vmath.Put(pooled)
 	return code
 }
 
-func percentile(pix []float32, p float64) float32 {
+// percentile sorts into a scratch buffer kept on the extractor, so the
+// per-frame cost is the sort alone.
+func (e *Extractor) percentile(pix []float32, p float64) float32 {
 	if len(pix) == 0 {
 		return 0
 	}
-	tmp := make([]float64, len(pix))
+	if cap(e.sortScratch) < len(pix) {
+		e.sortScratch = make([]float64, len(pix))
+	}
+	tmp := e.sortScratch[:len(pix)]
 	for i, v := range pix {
 		tmp[i] = float64(v)
 	}
@@ -258,10 +285,12 @@ func Hamming(a, b *Code) (int, error) {
 
 // EdgeGuide upsamples the code to w×h and blurs it into a soft [0,1] edge
 // map used by the recovery model's inpainting branch (diffusion is damped
-// across edges).
+// across edges). The result is pool-backed and caller-owned, like Plane.
 func (c *Code) EdgeGuide(w, h int) *vmath.Plane {
-	up := vmath.ResizeBilinear(c.Plane(), w, h)
-	soft := vmath.GaussianBlur(up, 1.0)
+	cp := c.Plane()
+	soft := vmath.ResizeBilinearInto(vmath.Get(w, h), cp)
+	vmath.Put(cp)
+	vmath.GaussianBlurInto(soft, soft, 1.0)
 	for i, v := range soft.Pix {
 		g := float64(v) / 255
 		if g > 1 {

@@ -14,15 +14,46 @@ import (
 )
 
 // Field is a dense optical-flow field with per-pixel confidence in [0,1].
+// Fields returned by Estimate and Resample are backed by the plane pool;
+// when a per-frame caller is done with one it may call Release to recycle
+// the storage. Skipping Release only costs garbage, never correctness.
 type Field struct {
 	W, H int
 	U, V []float32
 	Conf []float32
+
+	// Pool-backed storage behind U/V/Conf, set only by pooled
+	// constructors. nil for fields built with NewField or Clone.
+	uP, vP, cP *vmath.Plane
 }
 
 // NewField allocates a zero field.
 func NewField(w, h int) *Field {
 	return &Field{W: w, H: h, U: make([]float32, w*h), V: make([]float32, w*h), Conf: make([]float32, w*h)}
+}
+
+// newPooledField builds a field over three dirty pooled planes. Every
+// constructor that uses it writes all of U, V and Conf.
+func newPooledField(w, h int) *Field {
+	uP := vmath.Get(w, h)
+	vP := vmath.Get(w, h)
+	cP := vmath.Get(w, h)
+	return &Field{W: w, H: h, U: uP.Pix, V: vP.Pix, Conf: cP.Pix, uP: uP, vP: vP, cP: cP}
+}
+
+// Release returns the field's backing storage to the plane pool and clears
+// the field. Only pool-backed fields (from Estimate, Resample) return
+// storage; for others Release just clears the slices. The field must not
+// be used afterwards. Calling Release is always optional.
+func (f *Field) Release() {
+	if f == nil {
+		return
+	}
+	vmath.Put(f.uP)
+	vmath.Put(f.vP)
+	vmath.Put(f.cP)
+	f.uP, f.vP, f.cP = nil, nil, nil
+	f.U, f.V, f.Conf = nil, nil, nil
 }
 
 // At returns (u, v, confidence) at the pixel.
@@ -44,14 +75,15 @@ func (f *Field) MeanMagnitude() float64 {
 }
 
 // Resample returns the field resized to w×h with vectors scaled by the
-// resolution ratio, so the field remains valid at the new geometry.
+// resolution ratio, so the field remains valid at the new geometry. The
+// result is pool-backed; Release it when done.
 func (f *Field) Resample(w, h int) *Field {
 	sx := float32(w) / float32(f.W)
 	sy := float32(h) / float32(f.H)
-	uP := vmath.ResizeBilinear(vmath.FromSlice(f.W, f.H, f.U), w, h)
-	vP := vmath.ResizeBilinear(vmath.FromSlice(f.W, f.H, f.V), w, h)
-	cP := vmath.ResizeBilinear(vmath.FromSlice(f.W, f.H, f.Conf), w, h)
-	out := &Field{W: w, H: h, U: uP.Pix, V: vP.Pix, Conf: cP.Pix}
+	out := newPooledField(w, h)
+	vmath.ResizeBilinearInto(out.uP, vmath.FromSlice(f.W, f.H, f.U))
+	vmath.ResizeBilinearInto(out.vP, vmath.FromSlice(f.W, f.H, f.V))
+	vmath.ResizeBilinearInto(out.cP, vmath.FromSlice(f.W, f.H, f.Conf))
 	for i := range out.U {
 		out.U[i] *= sx
 		out.V[i] *= sy
@@ -146,35 +178,67 @@ func Estimate(prev, cur *vmath.Plane, opts Options) *Field {
 	if levels < 1 {
 		levels = 1
 	}
-	pPrev := make([]*vmath.Plane, levels)
-	pCur := make([]*vmath.Plane, levels)
+	// Pyramid levels above 0 live in pooled planes for the duration of the
+	// call. A fixed-size array keeps the bookkeeping itself off the heap
+	// (Levels beyond the array are clamped — depth 8 halves 270p to
+	// nothing anyway).
+	if levels > maxPyramidLevels {
+		levels = maxPyramidLevels
+	}
+	var pPrev, pCur [maxPyramidLevels]*vmath.Plane
 	pPrev[0], pCur[0] = prev, cur
 	for l := 1; l < levels; l++ {
-		pPrev[l] = vmath.Downsample(pPrev[l-1], 2, 2)
-		pCur[l] = vmath.Downsample(pCur[l-1], 2, 2)
+		pPrev[l] = vmath.DownsampleInto(vmath.Get(pPrev[l-1].W/2, pPrev[l-1].H/2), pPrev[l-1], 2, 2)
+		pCur[l] = vmath.DownsampleInto(vmath.Get(pCur[l-1].W/2, pCur[l-1].H/2), pCur[l-1], 2, 2)
 	}
 
 	var coarse *blockField
 	for l := levels - 1; l >= 0; l-- {
-		coarse = matchLevel(pPrev[l], pCur[l], coarse, o)
+		finer := matchLevel(pPrev[l], pCur[l], coarse, o)
+		coarse.release()
+		coarse = finer
 	}
-	return coarse.dense(cur.W, cur.H)
+	out := coarse.dense(cur.W, cur.H)
+	coarse.release()
+	for l := 1; l < levels; l++ {
+		vmath.Put(pPrev[l])
+		vmath.Put(pCur[l])
+	}
+	return out
 }
 
-// blockField is flow at block granularity.
+const maxPyramidLevels = 8
+
+// blockField is flow at block granularity. Its three lanes live in pooled
+// planes; release returns them.
 type blockField struct {
 	bw, bh int // blocks per row / column
 	block  int
 	u, v   []float32
 	conf   []float32
+
+	uP, vP, cP *vmath.Plane
 }
 
-// dense upsamples block flow to a per-pixel field.
+func (b *blockField) release() {
+	if b == nil {
+		return
+	}
+	vmath.Put(b.uP)
+	vmath.Put(b.vP)
+	vmath.Put(b.cP)
+	b.u, b.v, b.conf = nil, nil, nil
+	b.uP, b.vP, b.cP = nil, nil, nil
+}
+
+// dense upsamples block flow to a per-pixel field. The result is
+// pool-backed; the caller Releases it.
 func (b *blockField) dense(w, h int) *Field {
-	uP := vmath.ResizeBilinear(vmath.FromSlice(b.bw, b.bh, b.u), w, h)
-	vP := vmath.ResizeBilinear(vmath.FromSlice(b.bw, b.bh, b.v), w, h)
-	cP := vmath.ResizeBilinear(vmath.FromSlice(b.bw, b.bh, b.conf), w, h)
-	return &Field{W: w, H: h, U: uP.Pix, V: vP.Pix, Conf: cP.Pix}
+	out := newPooledField(w, h)
+	vmath.ResizeBilinearInto(out.uP, vmath.FromSlice(b.bw, b.bh, b.u))
+	vmath.ResizeBilinearInto(out.vP, vmath.FromSlice(b.bw, b.bh, b.v))
+	vmath.ResizeBilinearInto(out.cP, vmath.FromSlice(b.bw, b.bh, b.conf))
+	return out
 }
 
 // matchLevel computes block flow at one pyramid level, seeded by the
@@ -182,8 +246,11 @@ func (b *blockField) dense(w, h int) *Field {
 func matchLevel(prev, cur *vmath.Plane, coarse *blockField, o Options) *blockField {
 	bw := (cur.W + o.Block - 1) / o.Block
 	bh := (cur.H + o.Block - 1) / o.Block
+	uP := vmath.Get(bw, bh)
+	vP := vmath.Get(bw, bh)
+	cP := vmath.Get(bw, bh)
 	out := &blockField{bw: bw, bh: bh, block: o.Block,
-		u: make([]float32, bw*bh), v: make([]float32, bw*bh), conf: make([]float32, bw*bh)}
+		u: uP.Pix, v: vP.Pix, conf: cP.Pix, uP: uP, vP: vP, cP: cP}
 	for by := 0; by < bh; by++ {
 		for bx := 0; bx < bw; bx++ {
 			x0 := bx * o.Block

@@ -19,6 +19,10 @@
 // Two ablations used throughout the evaluation are provided: prediction
 // without the code (flow extrapolated from the two previous frames, as in
 // classical video prediction) and plain frame reuse.
+//
+// All per-frame intermediates live in the vmath plane pool, so a warmed-up
+// Recoverer performs no plane allocations. Planes returned by Recover and
+// Reuse are pool-backed and owned by the caller.
 package recovery
 
 import (
@@ -95,7 +99,13 @@ type Input struct {
 // stream restarts.
 type Recoverer struct {
 	cfg     Config
-	history *vmath.Plane // H at work resolution
+	history *vmath.Plane // H at work resolution; persistent pooled plane
+
+	// Per-frame scratch reused across calls (never escapes).
+	holes   []int
+	mismExt *edgecode.Extractor
+	mismA   []bool
+	mismB   []bool
 }
 
 // New returns a Recoverer for the configuration.
@@ -107,18 +117,23 @@ func New(cfg Config) *Recoverer {
 func (r *Recoverer) Config() Config { return r.cfg }
 
 // Reset clears the temporal history state.
-func (r *Recoverer) Reset() { r.history = nil }
+func (r *Recoverer) Reset() {
+	vmath.Put(r.history)
+	r.history = nil
+}
 
-// Reuse is the baseline that simply replays the previous frame.
+// Reuse is the baseline that simply replays the previous frame. The result
+// is a fresh pool-backed plane owned by the caller (never aliases prev).
 func (r *Recoverer) Reuse(prev *vmath.Plane) *vmath.Plane {
-	out := vmath.ResizeBilinear(prev, r.cfg.OutW, r.cfg.OutH)
-	return out
+	return vmath.ResizeBilinearInto(vmath.Get(r.cfg.OutW, r.cfg.OutH), prev)
 }
 
 // Recover reconstructs the current frame from in. Mode selection:
 // both codes present → hinted recovery; PrevPrev present → extrapolated
 // prediction (no-code ablation); otherwise frame reuse. If Part/PartMask
 // are set, received regions override the prediction (partial concealment).
+// The returned plane is pool-backed and owned by the caller; the Recoverer
+// never retains a reference to it.
 func (r *Recoverer) Recover(in Input) *vmath.Plane {
 	defer telemetry.Start(telemetry.StageRecovery).Stop()
 	if in.Prev == nil {
@@ -146,14 +161,16 @@ func (r *Recoverer) Recover(in Input) *vmath.Plane {
 // those regions are re-synthesised by edge-guided inpainting).
 func (r *Recoverer) recoverHinted(in Input) *vmath.Plane {
 	cfg := r.cfg
-	prevWork := vmath.ResizeBilinear(in.Prev, cfg.WorkW, cfg.WorkH)
+	prevWork := vmath.ResizeBilinearInto(vmath.Get(cfg.WorkW, cfg.WorkH), in.Prev)
 
 	// Base motion: frame-based flow extrapolated one step when I_{t-2}
-	// is available, otherwise zero motion.
+	// is available (one step of constant velocity is the field itself),
+	// otherwise zero motion.
 	var base *flow.Field
 	if in.PrevPrev != nil {
-		prevPrevWork := vmath.ResizeBilinear(in.PrevPrev, cfg.WorkW, cfg.WorkH)
-		base = flow.Extrapolate(flow.Estimate(prevPrevWork, prevWork, flow.Options{Levels: 3, Search: 3, ZeroBias: 0.4}), 1)
+		prevPrevWork := vmath.ResizeBilinearInto(vmath.Get(cfg.WorkW, cfg.WorkH), in.PrevPrev)
+		base = flow.Estimate(prevPrevWork, prevWork, flow.Options{Levels: 3, Search: 3, ZeroBias: 0.4})
+		vmath.Put(prevPrevWork)
 	} else {
 		base = flow.NewField(cfg.WorkW, cfg.WorkH)
 		for i := range base.Conf {
@@ -164,14 +181,20 @@ func (r *Recoverer) recoverHinted(in Input) *vmath.Plane {
 	// Hint motion: flow between the consecutive binary point codes. Codes
 	// are sparse, so matching uses a strong zero bias and the result is
 	// only trusted where its confidence is high.
-	codeFlow := flow.Estimate(in.PrevCode.SoftPlane(), in.CurCode.SoftPlane(),
+	prevSoft := in.PrevCode.SoftPlane()
+	curSoft := in.CurCode.SoftPlane()
+	codeFlow := flow.Estimate(prevSoft, curSoft,
 		flow.Options{Levels: 2, Search: 2, ZeroBias: 1.5})
+	vmath.Put(prevSoft)
+	vmath.Put(curSoft)
 	hint := codeFlow.Resample(cfg.WorkW, cfg.WorkH)
+	codeFlow.Release()
 
-	// Fuse: lean toward the hint where it is confident and disagrees with
-	// the extrapolation (the hint knows the current frame; extrapolation
-	// only assumes constant velocity).
-	fused := base.Clone()
+	// Fuse in place into the base field (nothing reads the pure
+	// extrapolation afterwards): lean toward the hint where it is
+	// confident and disagrees with the extrapolation (the hint knows the
+	// current frame; extrapolation only assumes constant velocity).
+	fused := base
 	for i := range fused.U {
 		w := hint.Conf[i] * hint.Conf[i] * 0.6
 		fused.U[i] += w * (hint.U[i] - fused.U[i])
@@ -180,11 +203,16 @@ func (r *Recoverer) recoverHinted(in Input) *vmath.Plane {
 			fused.Conf[i] = hint.Conf[i]
 		}
 	}
+	hint.Release()
 
 	// Snap near-integer vectors: exact copies avoid generation loss over
 	// consecutive recoveries.
 	fused.SnapIntegers(0.35)
-	warped, valid := warp.Backward(prevWork, fused, cfg.ConfThreshold)
+	warped := vmath.Get(cfg.WorkW, cfg.WorkH)
+	valid := vmath.Get(cfg.WorkW, cfg.WorkH)
+	warp.BackwardInto(warped, valid, prevWork, fused, cfg.ConfThreshold)
+	fused.Release()
+	vmath.Put(prevWork)
 
 	// Mismatch detection: contours promised by the current code that the
 	// warped prediction does not contain (and stale contours it should
@@ -193,30 +221,49 @@ func (r *Recoverer) recoverHinted(in Input) *vmath.Plane {
 
 	// Ipart at work resolution is real data: feed it into the inpainting
 	// as known pixels so diffusion grows from truth.
-	if in.Part != nil && in.PartMask != nil {
-		partWork := vmath.ResizeBilinear(in.Part, cfg.WorkW, cfg.WorkH)
-		maskWork := vmath.ResizeBilinear(in.PartMask, cfg.WorkW, cfg.WorkH)
-		for i := range warped.Pix {
-			if maskWork.Pix[i] > 0.5 {
-				warped.Pix[i] = partWork.Pix[i]
-				valid.Pix[i] = 1
-			}
-		}
-	}
+	r.overlayPartWork(warped, valid, in)
 
 	// Inpaint holes guided by the current code's contours, then enhance.
 	guide := in.CurCode.EdgeGuide(cfg.WorkW, cfg.WorkH)
-	filled := inpaint(warped, valid, guide, cfg.InpaintIters)
+	filled := r.inpaint(warped, valid, guide, cfg.InpaintIters)
+	vmath.Put(guide)
+	vmath.Put(warped)
 	out := r.enhance(filled, valid)
-	return vmath.ResizeBilinear(out, cfg.OutW, cfg.OutH)
+	vmath.Put(valid)
+	res := vmath.ResizeBilinearInto(vmath.Get(cfg.OutW, cfg.OutH), out)
+	vmath.Put(out)
+	return res
+}
+
+// overlayPartWork resamples the partial frame and its mask to work
+// resolution (pooled scratch) and pastes received pixels into warped/valid.
+func (r *Recoverer) overlayPartWork(warped, valid *vmath.Plane, in Input) {
+	if in.Part == nil || in.PartMask == nil {
+		return
+	}
+	cfg := r.cfg
+	partWork := vmath.ResizeBilinearInto(vmath.Get(cfg.WorkW, cfg.WorkH), in.Part)
+	maskWork := vmath.ResizeBilinearInto(vmath.Get(cfg.WorkW, cfg.WorkH), in.PartMask)
+	for i := range warped.Pix {
+		if maskWork.Pix[i] > 0.5 {
+			warped.Pix[i] = partWork.Pix[i]
+			valid.Pix[i] = 1
+		}
+	}
+	vmath.Put(partWork)
+	vmath.Put(maskWork)
 }
 
 // markCodeMismatch compares the contours of the warped prediction against
 // the received current code and clears `valid` where they disagree, bounded
-// so inpainting never overwhelms a mostly-correct prediction.
+// so inpainting never overwhelms a mostly-correct prediction. The extractor
+// and mismatch bitmaps are scratch kept on the Recoverer.
 func (r *Recoverer) markCodeMismatch(warped, valid *vmath.Plane, cur *edgecode.Code) {
-	ext := edgecode.NewExtractor(cur.W, cur.H)
-	ext.HistoryWeight = 0
+	if r.mismExt == nil || r.mismExt.W != cur.W || r.mismExt.H != cur.H {
+		r.mismExt = edgecode.NewExtractor(cur.W, cur.H)
+		r.mismExt.HistoryWeight = 0
+	}
+	ext := r.mismExt
 	ext.TargetDensity = cur.Density()
 	if ext.TargetDensity < 0.02 {
 		return
@@ -224,7 +271,14 @@ func (r *Recoverer) markCodeMismatch(warped, valid *vmath.Plane, cur *edgecode.C
 	predCode := ext.Extract(warped)
 
 	const nb = 2 // contour match tolerance in code pixels
-	mism := make([]bool, cur.W*cur.H)
+	if len(r.mismA) < cur.W*cur.H {
+		r.mismA = make([]bool, cur.W*cur.H)
+		r.mismB = make([]bool, cur.W*cur.H)
+	}
+	mism := r.mismA[:cur.W*cur.H]
+	for i := range mism {
+		mism[i] = false
+	}
 	total := 0
 	for y := 0; y < cur.H; y++ {
 		for x := 0; x < cur.W; x++ {
@@ -258,7 +312,10 @@ func (r *Recoverer) markCodeMismatch(warped, valid *vmath.Plane, cur *edgecode.C
 	}
 	// Filter isolated mismatch bits (code noise): a genuine new object or
 	// motion error produces clustered mismatches.
-	filtered := make([]bool, len(mism))
+	filtered := r.mismB[:cur.W*cur.H]
+	for i := range filtered {
+		filtered[i] = false
+	}
 	for y := 0; y < cur.H; y++ {
 		for x := 0; x < cur.W; x++ {
 			if !mism[y*cur.W+x] {
@@ -326,32 +383,34 @@ func (r *Recoverer) markCodeMismatch(warped, valid *vmath.Plane, cur *edgecode.C
 // and inpainting runs unguided.
 func (r *Recoverer) recoverExtrapolated(in Input) *vmath.Plane {
 	cfg := r.cfg
-	prevWork := vmath.ResizeBilinear(in.Prev, cfg.WorkW, cfg.WorkH)
-	prevPrevWork := vmath.ResizeBilinear(in.PrevPrev, cfg.WorkW, cfg.WorkH)
+	prevWork := vmath.ResizeBilinearInto(vmath.Get(cfg.WorkW, cfg.WorkH), in.Prev)
+	prevPrevWork := vmath.ResizeBilinearInto(vmath.Get(cfg.WorkW, cfg.WorkH), in.PrevPrev)
 	// Flow from I_{t-2} to I_{t-1}; assuming constant motion, the same
-	// field predicts I_t from I_{t-1}.
+	// field predicts I_t from I_{t-1} — one extrapolation step is the
+	// field itself, so it is snapped and used directly.
 	f := flow.Estimate(prevPrevWork, prevWork, flow.Options{Levels: 3, Search: 3, ZeroBias: 0.4})
-	ext := flow.Extrapolate(f, 1).SnapIntegers(0.35)
-	warped, valid := warp.Backward(prevWork, ext, cfg.ConfThreshold)
-	if in.Part != nil && in.PartMask != nil {
-		partWork := vmath.ResizeBilinear(in.Part, cfg.WorkW, cfg.WorkH)
-		maskWork := vmath.ResizeBilinear(in.PartMask, cfg.WorkW, cfg.WorkH)
-		for i := range warped.Pix {
-			if maskWork.Pix[i] > 0.5 {
-				warped.Pix[i] = partWork.Pix[i]
-				valid.Pix[i] = 1
-			}
-		}
-	}
-	filled := inpaint(warped, valid, nil, cfg.InpaintIters)
+	vmath.Put(prevPrevWork)
+	ext := f.SnapIntegers(0.35)
+	warped := vmath.Get(cfg.WorkW, cfg.WorkH)
+	valid := vmath.Get(cfg.WorkW, cfg.WorkH)
+	warp.BackwardInto(warped, valid, prevWork, ext, cfg.ConfThreshold)
+	f.Release()
+	vmath.Put(prevWork)
+	r.overlayPartWork(warped, valid, in)
+	filled := r.inpaint(warped, valid, nil, cfg.InpaintIters)
+	vmath.Put(warped)
 	out := r.enhance(filled, valid)
-	return vmath.ResizeBilinear(out, cfg.OutW, cfg.OutH)
+	vmath.Put(valid)
+	res := vmath.ResizeBilinearInto(vmath.Get(cfg.OutW, cfg.OutH), out)
+	vmath.Put(out)
+	return res
 }
 
-// enhance applies the enhancement branch: a light unsharp to recover the
-// detail lost to work-resolution processing (scaled by how much resolution
-// the work stage actually gave up), plus temporal blending with the history
-// state H in low-validity regions. It updates H.
+// enhance applies the enhancement branch in place on img: a light unsharp
+// to recover the detail lost to work-resolution processing (scaled by how
+// much resolution the work stage actually gave up), plus temporal blending
+// with the history state H in low-validity regions. It updates H and
+// returns img.
 func (r *Recoverer) enhance(img, valid *vmath.Plane) *vmath.Plane {
 	// No downsampling loss to compensate when work == output resolution.
 	amount := 0.25 * (float64(r.cfg.OutH)/float64(r.cfg.WorkH) - 1)
@@ -360,9 +419,8 @@ func (r *Recoverer) enhance(img, valid *vmath.Plane) *vmath.Plane {
 	}
 	out := img
 	if amount > 0.01 {
-		out = vmath.UnsharpMask(img, 1.0, amount)
-	} else {
-		out = img.Clone()
+		// UnsharpMaskInto materialises the blur first, so dst may alias src.
+		vmath.UnsharpMaskInto(out, img, 1.0, amount)
 	}
 	// Blend with history where the warp had no reliable source: the
 	// history carries content diffusion alone cannot invent.
@@ -374,32 +432,38 @@ func (r *Recoverer) enhance(img, valid *vmath.Plane) *vmath.Plane {
 			}
 		}
 	}
-	// H ← EMA of recovered frames.
+	// H ← EMA of recovered frames, held in a persistent pooled plane.
 	if r.history == nil || r.history.W != out.W || r.history.H != out.H {
-		r.history = out.Clone()
+		vmath.Put(r.history)
+		r.history = vmath.Get(out.W, out.H).CopyFrom(out)
 	} else {
 		vmath.Lerp(r.history, r.history, out, 0.6)
 	}
 	return out
 }
 
-// overridePartial pastes received content over the prediction (the paper:
-// "partial content is also used to override the predicted frame in the
-// corresponding region").
+// overridePartial pastes received content over the prediction in place (the
+// paper: "partial content is also used to override the predicted frame in
+// the corresponding region") and returns pred.
 func (r *Recoverer) overridePartial(pred, part, mask *vmath.Plane) *vmath.Plane {
 	p := part
 	m := mask
+	pooled := false
 	if part.W != pred.W || part.H != pred.H {
-		p = vmath.ResizeBilinear(part, pred.W, pred.H)
-		m = vmath.ResizeBilinear(mask, pred.W, pred.H)
+		p = vmath.ResizeBilinearInto(vmath.Get(pred.W, pred.H), part)
+		m = vmath.ResizeBilinearInto(vmath.Get(pred.W, pred.H), mask)
+		pooled = true
 	}
-	out := pred.Clone()
-	for i := range out.Pix {
+	for i := range pred.Pix {
 		if m.Pix[i] > 0.5 {
-			out.Pix[i] = p.Pix[i]
+			pred.Pix[i] = p.Pix[i]
 		}
 	}
-	return out
+	if pooled {
+		vmath.Put(p)
+		vmath.Put(m)
+	}
+	return pred
 }
 
 // inpaint fills pixels with valid==0 by iterative 4-neighbour diffusion.
@@ -408,21 +472,37 @@ func (r *Recoverer) overridePartial(pred, part, mask *vmath.Plane) *vmath.Plane 
 // are hard constraints; each hole keeps a self-anchor to its warped value,
 // so mildly wrong content is adjusted rather than erased (pure diffusion
 // would wipe texture that is only a couple of pixels out of place).
+// The result is a fresh pool-backed plane; img is left untouched (it is
+// the diffusion anchor). The hole index list is scratch on the Recoverer.
+func (r *Recoverer) inpaint(img, valid, guide *vmath.Plane, iters int) *vmath.Plane {
+	out, holes := inpaintScratch(img, valid, guide, iters, r.holes)
+	r.holes = holes
+	return out
+}
+
+// inpaint is the scratch-free convenience form.
 func inpaint(img, valid, guide *vmath.Plane, iters int) *vmath.Plane {
+	out, _ := inpaintScratch(img, valid, guide, iters, nil)
+	return out
+}
+
+func inpaintScratch(img, valid, guide *vmath.Plane, iters int, scratch []int) (*vmath.Plane, []int) {
 	w, h := img.W, img.H
-	out := img.Clone()
-	holes := make([]int, 0, w*h/4)
+	out := vmath.Get(w, h).CopyFrom(img)
+	holes := scratch[:0]
 	for i := range out.Pix {
 		if valid.Pix[i] < 0.5 {
 			holes = append(holes, i)
 		}
 	}
 	if len(holes) == 0 {
-		return out
+		return out, holes
 	}
 
 	const selfWeight = 0.8
-	next := out.Clone()
+	// next is only ever written then read at hole indices, so a dirty
+	// pooled plane is safe.
+	next := vmath.Get(w, h)
 	for it := 0; it < iters; it++ {
 		for _, i := range holes {
 			x := i % w
@@ -461,5 +541,6 @@ func inpaint(img, valid, guide *vmath.Plane, iters int) *vmath.Plane {
 			out.Pix[i] = next.Pix[i]
 		}
 	}
-	return out
+	vmath.Put(next)
+	return out, holes
 }

@@ -270,12 +270,16 @@ func Run(cfg Config, scheme Scheme) *Result {
 		recQoESum    float64
 		recQoEChunks int
 		frameLost    = make([]bool, framesPerChunk)
+		// Per-chunk scratch hoisted out of the loop: like the plane pool in
+		// the frame pipeline, the chunk loop reuses its buffers instead of
+		// allocating per chunk.
+		corrupted = make([]bool, framesPerChunk)
+		sizes     = make([]int, len(video.Resolutions()))
 	)
 
 	for n := 0; n < cfg.Chunks; n++ {
 		cSimChunks.Add(1)
 		// Build the ABR state.
-		sizes := make([]int, len(video.Resolutions()))
 		for i, r := range video.Resolutions() {
 			jitter := 1 + 0.08*(rng.Float64()*2-1) // VBR-ish chunk sizes
 			sizes[i] = int(r.Bitrate() * cfg.ChunkSeconds / 8 * jitter)
@@ -379,7 +383,6 @@ func Run(cfg Config, scheme Scheme) *Result {
 			excessRatio = float64(totalLost-effParity) / float64(totalLost)
 		}
 		// Frames whose loss FEC could not repair.
-		corrupted := make([]bool, framesPerChunk)
 		for i := range corrupted {
 			corrupted[i] = frameLost[i] && excessRatio > 0 && rng.Float64() < excessRatio
 		}

@@ -74,10 +74,13 @@ func TrainLearnedHead(factor int, iters int, seed int64) *LearnedHead {
 	return &LearnedHead{conv: conv, patch: learnedPatch}
 }
 
-// Apply adds the predicted residual to a bicubic-upsampled frame, tiling
-// the learned conv across the image.
-func (h *LearnedHead) Apply(up *vmath.Plane) *vmath.Plane {
-	out := up.Clone()
+// ApplyInto adds the predicted residual to the bicubic-upsampled frame up,
+// writing into dst (same size), tiling the learned conv across the image.
+// dst must not alias up: border tiles read clamped pixels that belong to
+// neighbouring (already-written) tiles, so an in-place apply would feed the
+// conv its own output.
+func (h *LearnedHead) ApplyInto(dst, up *vmath.Plane) *vmath.Plane {
+	out := dst.CopyFrom(up)
 	p := h.patch
 	x := make([]float32, p*p)
 	for ty := 0; ty < up.H; ty += p {
@@ -104,4 +107,10 @@ func (h *LearnedHead) Apply(up *vmath.Plane) *vmath.Plane {
 		}
 	}
 	return out.Clamp255()
+}
+
+// Apply adds the predicted residual to a bicubic-upsampled frame, tiling
+// the learned conv across the image.
+func (h *LearnedHead) Apply(up *vmath.Plane) *vmath.Plane {
+	return h.ApplyInto(vmath.NewPlane(up.W, up.H), up)
 }

@@ -16,6 +16,11 @@
 //     ground truth" with a Charbonnier loss;
 //   - per-resolution heads: a per-rung detail-boost strength, standing in
 //     for the independent convolution layers per degradation pattern.
+//
+// The per-frame path is built on the destination-passing Into kernels and
+// the plane pool of internal/vmath (ResizeBicubicInto, UnsharpMaskInto,
+// LearnedHead.ApplyInto, warp.BackwardInto, …): a warmed-up resolver
+// performs zero plane allocations per Upscale call. See DESIGN.md §9.
 package sr
 
 import (
@@ -64,9 +69,13 @@ func (c Config) withDefaults() Config {
 // resolution, carrying temporal state between frames. It accepts any input
 // resolution (the multi-resolution property of the paper's model): the
 // shared flow module runs at whatever LR resolution arrives.
+//
+// Planes returned by Upscale are pool-backed and owned by the caller; the
+// resolver copies what it needs into its own persistent state, so callers
+// may vmath.Put a result once they are done with it.
 type SuperResolver struct {
 	cfg    Config
-	prevLR *vmath.Plane
+	prevLR *vmath.Plane // persistent pooled planes, refreshed in place
 	prevHR *vmath.Plane
 }
 
@@ -80,7 +89,11 @@ func (s *SuperResolver) Config() Config { return s.cfg }
 
 // Reset drops temporal state (stream restart, scene cut, rung switch where
 // continuity is broken deliberately).
-func (s *SuperResolver) Reset() { s.prevLR, s.prevHR = nil, nil }
+func (s *SuperResolver) Reset() {
+	vmath.Put(s.prevLR)
+	vmath.Put(s.prevHR)
+	s.prevLR, s.prevHR = nil, nil
+}
 
 // detailBoost derives the per-resolution head strength: lower-resolution
 // inputs get stronger detail synthesis, as in the paper where lower rungs
@@ -107,57 +120,86 @@ func (s *SuperResolver) detailBoost(lrW int) float32 {
 func (s *SuperResolver) Upscale(lr *vmath.Plane) *vmath.Plane {
 	defer telemetry.Start(telemetry.StageSR).Stop()
 	cfg := s.cfg
-	base := vmath.ResizeBicubic(lr, cfg.OutW, cfg.OutH)
-	out := base
+	out := vmath.ResizeBicubicInto(vmath.Get(cfg.OutW, cfg.OutH), lr)
 
 	// Temporal fusion with the previous HR output, aligned by LR flow.
+	// The blend lands in place on the bicubic base (nothing reads the
+	// unfused base afterwards).
 	if s.prevLR != nil && s.prevHR != nil {
 		prevLR := s.prevLR
+		var prevLRScratch *vmath.Plane
 		if prevLR.W != lr.W || prevLR.H != lr.H {
-			prevLR = vmath.ResizeBilinear(prevLR, lr.W, lr.H)
+			prevLRScratch = vmath.ResizeBilinearInto(vmath.Get(lr.W, lr.H), prevLR)
+			prevLR = prevLRScratch
 		}
 		f := flow.Estimate(prevLR, lr, flow.Options{Levels: 2, Search: 3})
+		vmath.Put(prevLRScratch)
 		fHR := f.Resample(cfg.OutW, cfg.OutH)
-		warpedHR, validHR := warp.Backward(s.prevHR, fHR, 0.3)
+		f.Release()
+		warpedHR := vmath.Get(cfg.OutW, cfg.OutH)
+		validHR := vmath.Get(cfg.OutW, cfg.OutH)
+		warp.BackwardInto(warpedHR, validHR, s.prevHR, fHR, 0.3)
 		tw := cfg.TemporalWeight
-		fused := out.Clone()
 		// Per-pixel blend with no cross-pixel dependency: row bands run on
 		// the shared pool without changing the result.
-		par.ForRows(fused.H, func(y0, y1 int) {
-			for i := y0 * fused.W; i < y1*fused.W; i++ {
+		par.ForRows(out.H, func(y0, y1 int) {
+			for i := y0 * out.W; i < y1*out.W; i++ {
 				w := tw * fHR.Conf[i] * validHR.Pix[i]
-				fused.Pix[i] += w * (warpedHR.Pix[i] - fused.Pix[i])
+				out.Pix[i] += w * (warpedHR.Pix[i] - out.Pix[i])
 			}
 		})
-		out = fused
+		fHR.Release()
+		vmath.Put(warpedHR)
+		vmath.Put(validHR)
 	}
 
 	// Back-projection: force downsample-consistency with the observation.
+	// The LR error and its upsampling reuse two pooled scratch planes
+	// across iterations (Sub is elementwise, so the error lands in place
+	// on the downsample).
+	down := vmath.Get(lr.W, lr.H)
+	errUp := vmath.Get(cfg.OutW, cfg.OutH)
 	for it := 0; it < cfg.BackProjectIters; it++ {
-		down := vmath.ResizeBilinear(out, lr.W, lr.H)
-		err := vmath.Sub(nil, lr, down)
-		errUp := vmath.ResizeBilinear(err, cfg.OutW, cfg.OutH)
+		vmath.ResizeBilinearInto(down, out)
+		vmath.Sub(down, lr, down)
+		vmath.ResizeBilinearInto(errUp, down)
 		out.AddScaled(errUp, 1.0)
 	}
 
 	// Per-resolution detail head: a trained residual predictor when
 	// configured, otherwise the analytic sharpening head.
 	if cfg.LearnedHead != nil {
-		out = cfg.LearnedHead.Apply(out)
-		down := vmath.ResizeBilinear(out, lr.W, lr.H)
-		err := vmath.Sub(nil, lr, down)
-		out.AddScaled(vmath.ResizeBilinear(err, cfg.OutW, cfg.OutH), 1.0)
+		headed := cfg.LearnedHead.ApplyInto(vmath.Get(cfg.OutW, cfg.OutH), out)
+		vmath.Put(out)
+		out = headed
+		vmath.ResizeBilinearInto(down, out)
+		vmath.Sub(down, lr, down)
+		vmath.ResizeBilinearInto(errUp, down)
+		out.AddScaled(errUp, 1.0)
 	} else if b := s.detailBoost(lr.W); b > 0 {
-		out = vmath.UnsharpMask(out, 1.0, float64(b))
-		// Re-anchor once after sharpening.
-		down := vmath.ResizeBilinear(out, lr.W, lr.H)
-		err := vmath.Sub(nil, lr, down)
-		out.AddScaled(vmath.ResizeBilinear(err, cfg.OutW, cfg.OutH), 1.0)
+		// In-place sharpen (UnsharpMaskInto materialises the blur first),
+		// then re-anchor once.
+		vmath.UnsharpMaskInto(out, out, 1.0, float64(b))
+		vmath.ResizeBilinearInto(down, out)
+		vmath.Sub(down, lr, down)
+		vmath.ResizeBilinearInto(errUp, down)
+		out.AddScaled(errUp, 1.0)
 	}
+	vmath.Put(down)
+	vmath.Put(errUp)
 	out.Clamp255()
 
-	s.prevLR = lr.Clone()
-	s.prevHR = out.Clone()
+	// Persistent temporal state lives in pooled planes refreshed in place
+	// (re-fetched when the LR resolution changes at a rung switch).
+	if s.prevLR == nil || s.prevLR.W != lr.W || s.prevLR.H != lr.H {
+		vmath.Put(s.prevLR)
+		s.prevLR = vmath.Get(lr.W, lr.H)
+	}
+	s.prevLR.CopyFrom(lr)
+	if s.prevHR == nil {
+		s.prevHR = vmath.Get(cfg.OutW, cfg.OutH)
+	}
+	s.prevHR.CopyFrom(out)
 	return out
 }
 

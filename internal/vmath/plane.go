@@ -6,6 +6,15 @@
 // Planes store pixels in row-major order in the nominal 8-bit range
 // [0, 255], but nothing in the package enforces that range; intermediate
 // results (residuals, gradients, flow fields) routinely leave it.
+//
+// Every hot kernel comes in two forms: an allocating convenience form
+// (ResizeBilinear, Convolve, UnsharpMask, …) and a destination-passing
+// "Into" form (ResizeBilinearInto, ConvolveInto, …) that writes into a
+// caller-supplied plane, usually one obtained from the plane Pool
+// (Get/Put). The Into forms allocate nothing and are what the per-frame
+// pipeline uses to reach a zero-allocation steady state; the allocating
+// forms are thin wrappers that remain for tests and cold paths. Unless a
+// kernel's doc comment says otherwise, dst must not alias src.
 package vmath
 
 import (
@@ -26,6 +35,7 @@ func NewPlane(w, h int) *Plane {
 	if w < 0 || h < 0 {
 		panic(fmt.Sprintf("vmath: invalid plane size %dx%d", w, h))
 	}
+	planeAllocs.Add(1)
 	return &Plane{W: w, H: h, Pix: make([]float32, w*h)}
 }
 
@@ -42,6 +52,16 @@ func (p *Plane) Clone() *Plane {
 	q := NewPlane(p.W, p.H)
 	copy(q.Pix, p.Pix)
 	return q
+}
+
+// CopyFrom copies src's pixels into p without allocating. Both planes must
+// share dimensions. It returns p for chaining. This is the Into form of
+// Clone: persistent state (SR history, extractor history) holds a pooled
+// plane and refreshes it with CopyFrom each frame.
+func (p *Plane) CopyFrom(src *Plane) *Plane {
+	checkSameSize(p, src)
+	copy(p.Pix, src.Pix)
+	return p
 }
 
 // At returns the pixel at (x, y). It does not bounds-check; use AtClamp for
@@ -88,7 +108,8 @@ func (p *Plane) Clamp255() *Plane {
 }
 
 // Add stores a+b into dst (allocating when dst is nil) and returns dst.
-// All three planes must share dimensions.
+// All three planes must share dimensions. Add, Sub, Lerp and LerpMask are
+// purely elementwise, so dst MAY alias any operand.
 func Add(dst, a, b *Plane) *Plane {
 	checkSameSize(a, b)
 	dst = ensure(dst, a.W, a.H)

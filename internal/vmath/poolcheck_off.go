@@ -1,0 +1,17 @@
+//go:build !poolcheck
+
+package vmath
+
+// poolChecker is the buffer-lifetime debug hook. In the default build it is
+// empty and its methods compile to nothing; the poolcheck build (-tags
+// poolcheck) swaps in an implementation that panics on double-Put and
+// poisons freed pixels so use-after-put shows up as NaNs or index panics
+// instead of silently corrupted frames.
+type poolChecker struct{}
+
+func (poolChecker) onGet(*Plane) {}
+func (poolChecker) onPut(*Plane) {}
+
+// PoolCheckEnabled reports whether this binary was built with -tags
+// poolcheck (buffer-lifetime debugging).
+const PoolCheckEnabled = false

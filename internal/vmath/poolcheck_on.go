@@ -1,0 +1,58 @@
+//go:build poolcheck
+
+package vmath
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// poolChecker (poolcheck build) tracks which planes are currently inside
+// the pool's free lists and makes the two buffer-lifetime bugs loud:
+//
+//   - Double-Put: putting a plane that is already free panics immediately,
+//     with the plane's geometry in the message.
+//   - Use-after-put: a freed plane's pixels are poisoned with NaN and its
+//     header is truncated to 0×0 with an empty Pix, so a stale holder
+//     either reads NaNs (visible in any checksum) or panics indexing Pix.
+//
+// The tracking map and mutex make pool operations slower and allocate, so
+// this build is for tests and debugging only: CI runs the test suite with
+// `-tags poolcheck -race` to gate buffer-lifetime bugs.
+type poolChecker struct {
+	mu   sync.Mutex
+	free map[*Plane]struct{}
+}
+
+func (c *poolChecker) onPut(pl *Plane) {
+	c.mu.Lock()
+	if c.free == nil {
+		c.free = make(map[*Plane]struct{})
+	}
+	if _, dup := c.free[pl]; dup {
+		c.mu.Unlock()
+		panic(fmt.Sprintf("vmath: pool double-Put of %dx%d plane", pl.W, pl.H))
+	}
+	c.free[pl] = struct{}{}
+	c.mu.Unlock()
+	// Poison, then truncate: stale slice copies see NaNs, stale At/Set
+	// through the header panic on the empty Pix.
+	nan := float32(math.NaN())
+	full := pl.Pix[:cap(pl.Pix)]
+	for i := range full {
+		full[i] = nan
+	}
+	pl.W, pl.H = 0, 0
+	pl.Pix = full[:0]
+}
+
+func (c *poolChecker) onGet(pl *Plane) {
+	c.mu.Lock()
+	delete(c.free, pl)
+	c.mu.Unlock()
+}
+
+// PoolCheckEnabled reports whether this binary was built with -tags
+// poolcheck (buffer-lifetime debugging).
+const PoolCheckEnabled = true

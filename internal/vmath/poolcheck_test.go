@@ -1,0 +1,48 @@
+//go:build poolcheck
+
+package vmath
+
+import "testing"
+
+// These tests only exist in the -tags poolcheck debug build, where the pool
+// tracks freed planes and turns ownership violations into panics instead of
+// silent frame corruption.
+
+func TestPoolCheckDoublePutPanics(t *testing.T) {
+	if !PoolCheckEnabled {
+		t.Fatal("poolcheck build without PoolCheckEnabled")
+	}
+	var p Pool
+	pl := p.Get(16, 16)
+	p.Put(pl)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Put of the same plane did not panic")
+		}
+	}()
+	p.Put(pl)
+}
+
+func TestPoolCheckPoisonsFreedPlane(t *testing.T) {
+	var p Pool
+	pl := p.Get(16, 16)
+	pix := pl.Pix
+	p.Put(pl)
+	// The freed plane is truncated so stale At/Set panic instead of
+	// corrupting whoever gets the buffer next.
+	if pl.W != 0 || pl.H != 0 || len(pl.Pix) != 0 {
+		t.Fatalf("freed plane still has geometry %dx%d len %d", pl.W, pl.H, len(pl.Pix))
+	}
+	// The retained pix slice is NaN-poisoned: reads through a stale alias
+	// produce NaN pixels, which are loud in any downstream metric.
+	if pix[0] == pix[0] {
+		t.Fatalf("freed pixels not NaN-poisoned: %v", pix[0])
+	}
+	// A fresh Get of the same bucket must hand the plane back clean.
+	q := p.Get(16, 16)
+	q.Fill(1)
+	if q.Pix[0] != 1 {
+		t.Fatalf("reused plane unusable after poisoning")
+	}
+	p.Put(q)
+}

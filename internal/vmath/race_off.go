@@ -1,0 +1,7 @@
+//go:build !race
+
+package vmath
+
+// RaceEnabled reports whether this binary was built with -race. See
+// race_on.go for why pool-determinism tests consult it.
+const RaceEnabled = false

@@ -10,12 +10,22 @@ import (
 // worker pool (internal/par). Each output pixel is a pure function of the
 // source plane and its own coordinates — no accumulation crosses rows — so
 // the result is bit-identical for any pool size.
+//
+// Each resampler has an Into form that writes into a caller-supplied dst
+// (whose W×H is the output geometry) and allocates nothing, plus the
+// original allocating form as a thin wrapper. Into forms write every output
+// pixel, so dst may come dirty from the pool; dst must not alias p.
 
-// ResizeNearest resamples p to w×h with nearest-neighbour sampling.
-func ResizeNearest(p *Plane, w, h int) *Plane {
-	out := NewPlane(w, h)
-	if w == 0 || h == 0 || p.W == 0 || p.H == 0 {
-		return out
+// ResizeNearestInto resamples p to dst's size with nearest-neighbour
+// sampling. dst must not alias p.
+func ResizeNearestInto(dst, p *Plane) *Plane {
+	w, h := dst.W, dst.H
+	if w == 0 || h == 0 {
+		return dst
+	}
+	if p.W == 0 || p.H == 0 {
+		dst.Fill(0)
+		return dst
 	}
 	sx := float64(p.W) / float64(w)
 	sy := float64(p.H) / float64(h)
@@ -31,19 +41,28 @@ func ResizeNearest(p *Plane, w, h int) *Plane {
 				if srcX >= p.W {
 					srcX = p.W - 1
 				}
-				out.Pix[y*w+x] = row[srcX]
+				dst.Pix[y*w+x] = row[srcX]
 			}
 		}
 	})
-	return out
+	return dst
 }
 
-// ResizeBilinear resamples p to w×h with bilinear interpolation using
-// pixel-centre alignment (the convention used by video scalers).
-func ResizeBilinear(p *Plane, w, h int) *Plane {
-	out := NewPlane(w, h)
-	if w == 0 || h == 0 || p.W == 0 || p.H == 0 {
-		return out
+// ResizeNearest resamples p to w×h with nearest-neighbour sampling.
+func ResizeNearest(p *Plane, w, h int) *Plane {
+	return ResizeNearestInto(NewPlane(w, h), p)
+}
+
+// ResizeBilinearInto resamples p to dst's size with bilinear interpolation
+// using pixel-centre alignment. dst must not alias p.
+func ResizeBilinearInto(dst, p *Plane) *Plane {
+	w, h := dst.W, dst.H
+	if w == 0 || h == 0 {
+		return dst
+	}
+	if p.W == 0 || p.H == 0 {
+		dst.Fill(0)
+		return dst
 	}
 	sx := float64(p.W) / float64(w)
 	sy := float64(p.H) / float64(h)
@@ -52,11 +71,17 @@ func ResizeBilinear(p *Plane, w, h int) *Plane {
 			fy := (float64(y)+0.5)*sy - 0.5
 			for x := 0; x < w; x++ {
 				fx := (float64(x)+0.5)*sx - 0.5
-				out.Pix[y*w+x] = p.SampleBilinear(float32(fx), float32(fy))
+				dst.Pix[y*w+x] = p.SampleBilinear(float32(fx), float32(fy))
 			}
 		}
 	})
-	return out
+	return dst
+}
+
+// ResizeBilinear resamples p to w×h with bilinear interpolation using
+// pixel-centre alignment (the convention used by video scalers).
+func ResizeBilinear(p *Plane, w, h int) *Plane {
+	return ResizeBilinearInto(NewPlane(w, h), p)
 }
 
 // cubicWeight is the Catmull-Rom (a = -0.5) cubic convolution kernel.
@@ -73,12 +98,16 @@ func cubicWeight(t float64) float64 {
 	}
 }
 
-// ResizeBicubic resamples p to w×h with Catmull-Rom bicubic interpolation.
-// This is the "Bicubic" upsampling baseline used in the SR comparisons.
-func ResizeBicubic(p *Plane, w, h int) *Plane {
-	out := NewPlane(w, h)
-	if w == 0 || h == 0 || p.W == 0 || p.H == 0 {
-		return out
+// ResizeBicubicInto resamples p to dst's size with Catmull-Rom bicubic
+// interpolation. dst must not alias p.
+func ResizeBicubicInto(dst, p *Plane) *Plane {
+	w, h := dst.W, dst.H
+	if w == 0 || h == 0 {
+		return dst
+	}
+	if p.W == 0 || p.H == 0 {
+		dst.Fill(0)
+		return dst
 	}
 	sx := float64(p.W) / float64(w)
 	sy := float64(p.H) / float64(h)
@@ -110,23 +139,28 @@ func ResizeBicubic(p *Plane, w, h int) *Plane {
 				if wsum != 0 {
 					acc /= wsum
 				}
-				out.Pix[y*w+x] = float32(acc)
+				dst.Pix[y*w+x] = float32(acc)
 			}
 		}
 	})
-	return out
+	return dst
 }
 
-// Downsample box-averages p by an integer factor in each dimension,
-// producing a (W/fx)×(H/fy) plane. This matches the degradation model used
-// to build the bitrate ladder (area-average downscale).
-func Downsample(p *Plane, fx, fy int) *Plane {
+// ResizeBicubic resamples p to w×h with Catmull-Rom bicubic interpolation.
+// This is the "Bicubic" upsampling baseline used in the SR comparisons.
+func ResizeBicubic(p *Plane, w, h int) *Plane {
+	return ResizeBicubicInto(NewPlane(w, h), p)
+}
+
+// DownsampleInto box-averages p by an integer factor in each dimension into
+// dst, whose size must be exactly (p.W/fx)×(p.H/fy). dst must not alias p.
+func DownsampleInto(dst, p *Plane, fx, fy int) *Plane {
 	if fx < 1 || fy < 1 {
 		panic("vmath: Downsample factor must be >= 1")
 	}
 	w := p.W / fx
 	h := p.H / fy
-	out := NewPlane(w, h)
+	dst = ensure(dst, w, h)
 	inv := 1.0 / float32(fx*fy)
 	par.ForRows(h, func(y0, y1 int) {
 		for y := y0; y < y1; y++ {
@@ -138,11 +172,41 @@ func Downsample(p *Plane, fx, fy int) *Plane {
 						s += row[i]
 					}
 				}
-				out.Pix[y*w+x] = s * inv
+				dst.Pix[y*w+x] = s * inv
 			}
 		}
 	})
-	return out
+	return dst
+}
+
+// Downsample box-averages p by an integer factor in each dimension,
+// producing a (W/fx)×(H/fy) plane. This matches the degradation model used
+// to build the bitrate ladder (area-average downscale).
+func Downsample(p *Plane, fx, fy int) *Plane {
+	return DownsampleInto(NewPlane(p.W/fx, p.H/fy), p, fx, fy)
+}
+
+// PixelShuffleInto rearranges an r²-channel stack of planes (all w×h) into
+// dst, which must be (w·r)×(h·r). dst must not alias any channel.
+func PixelShuffleInto(dst *Plane, channels []*Plane, r int) *Plane {
+	if len(channels) != r*r {
+		panic("vmath: PixelShuffle needs r*r channels")
+	}
+	w, h := channels[0].W, channels[0].H
+	for _, c := range channels {
+		checkSameSize(channels[0], c)
+	}
+	dst = ensure(dst, w*r, h*r)
+	for c, ch := range channels {
+		ox := c % r
+		oy := c / r
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				dst.Pix[(y*r+oy)*dst.W+(x*r+ox)] = ch.Pix[y*w+x]
+			}
+		}
+	}
+	return dst
 }
 
 // PixelShuffle rearranges an r²-channel stack of planes (all w×h) into one
@@ -153,21 +217,31 @@ func PixelShuffle(channels []*Plane, r int) *Plane {
 	if len(channels) != r*r {
 		panic("vmath: PixelShuffle needs r*r channels")
 	}
-	w, h := channels[0].W, channels[0].H
-	for _, c := range channels {
-		checkSameSize(channels[0], c)
+	return PixelShuffleInto(NewPlane(channels[0].W*r, channels[0].H*r), channels, r)
+}
+
+// PixelUnshuffleInto splits p (whose dimensions must be divisible by r)
+// into the r*r caller-supplied planes in dst, each (W/r)×(H/r). No dst
+// plane may alias p.
+func PixelUnshuffleInto(dst []*Plane, p *Plane, r int) []*Plane {
+	if p.W%r != 0 || p.H%r != 0 {
+		panic("vmath: PixelUnshuffle dimensions not divisible by r")
 	}
-	out := NewPlane(w*r, h*r)
-	for c, ch := range channels {
+	if len(dst) != r*r {
+		panic("vmath: PixelUnshuffle needs r*r destination planes")
+	}
+	w, h := p.W/r, p.H/r
+	for c := range dst {
+		dst[c] = ensure(dst[c], w, h)
 		ox := c % r
 		oy := c / r
 		for y := 0; y < h; y++ {
 			for x := 0; x < w; x++ {
-				out.Pix[(y*r+oy)*out.W+(x*r+ox)] = ch.Pix[y*w+x]
+				dst[c].Pix[y*w+x] = p.Pix[(y*r+oy)*p.W+(x*r+ox)]
 			}
 		}
 	}
-	return out
+	return dst
 }
 
 // PixelUnshuffle is the inverse of PixelShuffle: it splits p (whose
@@ -176,17 +250,5 @@ func PixelUnshuffle(p *Plane, r int) []*Plane {
 	if p.W%r != 0 || p.H%r != 0 {
 		panic("vmath: PixelUnshuffle dimensions not divisible by r")
 	}
-	w, h := p.W/r, p.H/r
-	out := make([]*Plane, r*r)
-	for c := range out {
-		out[c] = NewPlane(w, h)
-		ox := c % r
-		oy := c / r
-		for y := 0; y < h; y++ {
-			for x := 0; x < w; x++ {
-				out[c].Pix[y*w+x] = p.Pix[(y*r+oy)*p.W+(x*r+ox)]
-			}
-		}
-	}
-	return out
+	return PixelUnshuffleInto(make([]*Plane, r*r), p, r)
 }

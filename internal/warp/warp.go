@@ -3,6 +3,11 @@
 // paper's iPhone deployment this is the custom Metal grid-sample layer run
 // at 270p (§7); here the cost model in internal/device charges the
 // corresponding latencies.
+//
+// BackwardInto and BackwardPlaneInto are the destination-passing forms used
+// by the per-frame pipeline with pooled planes (vmath.Get/Put); Backward
+// and BackwardPlane allocate and remain for tests and cold paths. In all
+// of them the destinations must not alias src.
 package warp
 
 import (
@@ -14,18 +19,22 @@ import (
 	"nerve/internal/vmath"
 )
 
-// Backward warps src by the flow field: out(x, y) = src(x + U, y + V).
-// The field must match src's dimensions. The returned hole mask is 1 where
+// BackwardInto warps src by the flow field into out, and writes the hole
+// mask into valid: out(x, y) = src(x + U, y + V). The field and both
+// destinations must match src's dimensions; out and valid must not alias
+// src. Every pixel of both destinations is written (valid gets an explicit
+// 0 or 1), so they may come dirty from the pool. The valid mask is 1 where
 // the sample fell inside src and the flow confidence is adequate, and 0
 // where the warp had no reliable source (out of bounds or low confidence) —
 // the regions the inpainting branch must fill.
-func Backward(src *vmath.Plane, f *flow.Field, confThreshold float32) (out, valid *vmath.Plane) {
+func BackwardInto(out, valid *vmath.Plane, src *vmath.Plane, f *flow.Field, confThreshold float32) {
 	defer telemetry.Start(telemetry.StageWarp).Stop()
 	if src.W != f.W || src.H != f.H {
 		panic(fmt.Sprintf("warp: plane %dx%d vs field %dx%d", src.W, src.H, f.W, f.H))
 	}
-	out = vmath.NewPlane(src.W, src.H)
-	valid = vmath.NewPlane(src.W, src.H)
+	if out.W != src.W || out.H != src.H || valid.W != src.W || valid.H != src.H {
+		panic(fmt.Sprintf("warp: dst %dx%d/%dx%d vs src %dx%d", out.W, out.H, valid.W, valid.H, src.W, src.H))
+	}
 	// Each output pixel reads only src and the flow field, so row bands run
 	// on the pool with pool-size-independent results.
 	par.ForRows(src.H, func(y0, y1 int) {
@@ -38,27 +47,47 @@ func Backward(src *vmath.Plane, f *flow.Field, confThreshold float32) (out, vali
 				inBounds := sx >= -0.5 && sy >= -0.5 && sx <= float32(src.W)-0.5 && sy <= float32(src.H)-0.5
 				if inBounds && f.Conf[i] >= confThreshold {
 					valid.Pix[i] = 1
+				} else {
+					valid.Pix[i] = 0
 				}
 			}
 		}
 	})
+}
+
+// Backward warps src by the flow field: out(x, y) = src(x + U, y + V).
+// The field must match src's dimensions. See BackwardInto for the meaning
+// of the returned hole mask.
+func Backward(src *vmath.Plane, f *flow.Field, confThreshold float32) (out, valid *vmath.Plane) {
+	out = vmath.NewPlane(src.W, src.H)
+	valid = vmath.NewPlane(src.W, src.H)
+	BackwardInto(out, valid, src, f, confThreshold)
 	return out, valid
+}
+
+// BackwardPlaneInto warps src by explicit per-pixel offset planes (u, v)
+// into dst, with no confidence handling. dst must match src's size and not
+// alias it.
+func BackwardPlaneInto(dst, src, u, v *vmath.Plane) *vmath.Plane {
+	if src.W != u.W || src.H != u.H || src.W != v.W || src.H != v.H {
+		panic("warp: offset plane size mismatch")
+	}
+	if dst.W != src.W || dst.H != src.H {
+		panic("warp: dst plane size mismatch")
+	}
+	par.ForRows(src.H, func(y0, y1 int) {
+		for y := y0; y < y1; y++ {
+			for x := 0; x < src.W; x++ {
+				i := y*src.W + x
+				dst.Pix[i] = src.SampleBilinear(float32(x)+u.Pix[i], float32(y)+v.Pix[i])
+			}
+		}
+	})
+	return dst
 }
 
 // BackwardPlane warps src by explicit per-pixel offset planes (u, v) with
 // no confidence handling; used by tests and simple callers.
 func BackwardPlane(src, u, v *vmath.Plane) *vmath.Plane {
-	if src.W != u.W || src.H != u.H || src.W != v.W || src.H != v.H {
-		panic("warp: offset plane size mismatch")
-	}
-	out := vmath.NewPlane(src.W, src.H)
-	par.ForRows(src.H, func(y0, y1 int) {
-		for y := y0; y < y1; y++ {
-			for x := 0; x < src.W; x++ {
-				i := y*src.W + x
-				out.Pix[i] = src.SampleBilinear(float32(x)+u.Pix[i], float32(y)+v.Pix[i])
-			}
-		}
-	})
-	return out
+	return BackwardPlaneInto(vmath.NewPlane(src.W, src.H), src, u, v)
 }
