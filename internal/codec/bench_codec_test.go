@@ -1,0 +1,108 @@
+package codec
+
+import (
+	"math/rand"
+	"testing"
+
+	"nerve/internal/par"
+	"nerve/internal/vmath"
+)
+
+// Codec hot-kernel benchmarks. BENCH_codec.json at the repo root archives
+// these (see the bench-smoke job in .github/workflows/ci.yml); the *Ref
+// twins keep the basis-matrix baseline measurable in the same binary.
+
+func benchBlock() *[64]float32 {
+	rng := rand.New(rand.NewSource(31))
+	var blk [64]float32
+	for i := range blk {
+		blk[i] = rng.Float32()*255 - 128
+	}
+	return &blk
+}
+
+func BenchmarkFDCT8(b *testing.B) {
+	blk := benchBlock()
+	var out [64]float32
+	for i := 0; i < b.N; i++ {
+		fdct8(blk, &out)
+	}
+}
+
+func BenchmarkFDCT8Ref(b *testing.B) {
+	blk := benchBlock()
+	var out [64]float32
+	for i := 0; i < b.N; i++ {
+		fdct8Ref(blk, &out)
+	}
+}
+
+func BenchmarkIDCT8(b *testing.B) {
+	blk := benchBlock()
+	var coef, out [64]float32
+	fdct8(blk, &coef)
+	for i := range coef {
+		coef[i] /= 64
+	}
+	for i := 0; i < b.N; i++ {
+		idct8(&coef, &out)
+	}
+}
+
+func BenchmarkIDCT8Ref(b *testing.B) {
+	blk := benchBlock()
+	var coef, out [64]float32
+	fdct8Ref(blk, &coef)
+	for i := 0; i < b.N; i++ {
+		idct8Ref(&coef, &out)
+	}
+}
+
+// BenchmarkSADMB measures 162 interior macroblock SADs per op (the 18×9
+// interior grid of a 320×180 frame, displaced by {1,−1}) with no early
+// exit, the same shape the pre-AAN float baseline was recorded with.
+func BenchmarkSADMB(b *testing.B) {
+	frames := benchClip(b, 2, 320, 180)
+	cur := vmath.GetBytes(320, 180).FromPlane(frames[1])
+	ref := vmath.GetBytes(320, 180).FromPlane(frames[0])
+	defer vmath.PutBytes(cur)
+	defer vmath.PutBytes(ref)
+	var st searchStats
+	mv := MV{1, -1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for cy := 16; cy+MBSize <= 160; cy += MBSize {
+			for cx := 16; cx+MBSize <= 320-MBSize; cx += MBSize {
+				sadMB(cur, ref, cx, cy, mv, 1<<62, &st)
+			}
+		}
+	}
+}
+
+// BenchmarkMotionSearchPredictive is the full predictive frame search
+// (320×180, single worker) seeded with the previous frame's field, the
+// steady-state P-frame configuration.
+func BenchmarkMotionSearchPredictive(b *testing.B) {
+	defer par.SetWorkers(1)()
+	frames := benchClip(b, 3, 320, 180)
+	prev := SearchFrame(frames[1], frames[0], 15)
+	var mvs []MV
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mvs = SearchFramePredInto(mvs, prev, frames[2], frames[1], 15)
+	}
+}
+
+// BenchmarkEncodeFrame encodes a 320×180 30-frame loop at 1.2 Mb/s on a
+// single worker — the per-frame cost of the whole encoder, rate control
+// included.
+func BenchmarkEncodeFrame(b *testing.B) {
+	defer par.SetWorkers(1)()
+	frames := benchClip(b, 30, 320, 180)
+	cfg := Config{W: 320, H: 180, GOP: 30, TargetBitrate: 1.2e6}
+	b.ResetTimer()
+	enc := NewEncoder(cfg)
+	for i := 0; i < b.N; i++ {
+		enc.Encode(frames[i%30])
+	}
+}

@@ -107,6 +107,23 @@ type Encoder struct {
 	frameCount int
 	mbRows     int
 	mbCols     int
+
+	// Motion-search state. curB/refB are pooled byte shadows of the frame
+	// being encoded and of the prediction reference — sadMB runs on bytes
+	// (see motion.go). modeField/mvField/sadField cache the per-macroblock
+	// decisions of the current frame: mode decisions and motion vectors are
+	// independent of the quantiser, so a rate-control re-encode replays
+	// them (searchValid) instead of searching again. prevMVs/prevSADs are
+	// the previous P frame's fields (motionValid) and drive the temporal
+	// median predictor and adaptive early termination.
+	curB, refB  *vmath.BytePlane
+	modeField   []mbMode
+	mvField     []MV
+	sadField    []int64
+	prevMVs     []MV
+	prevSADs    []int64
+	searchValid bool
+	motionValid bool
 }
 
 // NewEncoder returns an encoder for the configuration.
@@ -115,12 +132,22 @@ func NewEncoder(cfg Config) *Encoder {
 	if cfg.W <= 0 || cfg.H <= 0 {
 		panic(fmt.Sprintf("codec: invalid dimensions %dx%d", cfg.W, cfg.H))
 	}
+	mbRows := (cfg.H + MBSize - 1) / MBSize
+	mbCols := (cfg.W + MBSize - 1) / MBSize
+	n := mbRows * mbCols
 	return &Encoder{
-		cfg:    cfg,
-		qI:     6,
-		qP:     4,
-		mbRows: (cfg.H + MBSize - 1) / MBSize,
-		mbCols: (cfg.W + MBSize - 1) / MBSize,
+		cfg:       cfg,
+		qI:        6,
+		qP:        4,
+		mbRows:    mbRows,
+		mbCols:    mbCols,
+		curB:      vmath.GetBytes(cfg.W, cfg.H),
+		refB:      vmath.GetBytes(cfg.W, cfg.H),
+		modeField: make([]mbMode, n),
+		mvField:   make([]MV, n),
+		sadField:  make([]int64, n),
+		prevMVs:   make([]MV, n),
+		prevSADs:  make([]int64, n),
 	}
 }
 
@@ -160,6 +187,13 @@ func (e *Encoder) Encode(frame *vmath.Plane) *EncodedFrame {
 	}
 	budget := e.frameBudget(ftype)
 
+	e.searchValid = false
+	if ftype == FrameP {
+		// refB was refreshed from the previous reconstruction at the end of
+		// the last Encode; only the current frame's shadow is rebuilt here.
+		e.curB.FromPlane(frame)
+	}
+
 	ef := e.encodeAttempt(frame, ftype, q)
 	bitsUsed := float64(ef.TotalBytes() * 8)
 	if bitsUsed > 1.5*budget || bitsUsed < 0.5*budget {
@@ -167,9 +201,13 @@ func (e *Encoder) Encode(frame *vmath.Plane) *EncodedFrame {
 		// The first attempt is discarded whole; recycle its
 		// reconstruction rather than leaving a full frame to the GC.
 		vmath.Put(ef.Recon)
+		// Mode decisions and motion vectors do not depend on q, so the
+		// re-encode replays the cached fields instead of searching again.
+		e.searchValid = ftype == FrameP
 		ef = e.encodeAttempt(frame, ftype, q)
 		bitsUsed = float64(ef.TotalBytes() * 8)
 	}
+	e.searchValid = false
 	// Slow adaptation for the next frame of this type.
 	adj := clampQ(q * float32(math.Pow(bitsUsed/budget, 0.5)))
 	if ftype == FrameI {
@@ -179,6 +217,19 @@ func (e *Encoder) Encode(frame *vmath.Plane) *EncodedFrame {
 	}
 
 	e.ref = ef.Recon
+	// Rotate the motion fields into the temporal-predictor slots; an intra
+	// frame breaks the chain.
+	if ftype == FrameP {
+		e.prevMVs, e.mvField = e.mvField, e.prevMVs
+		e.prevSADs, e.sadField = e.sadField, e.prevSADs
+		e.motionValid = true
+	} else {
+		e.motionValid = false
+	}
+	if (e.frameCount+1)%e.cfg.GOP != 0 {
+		// The next frame will be predicted: shadow its reference now.
+		e.refB.FromPlane(ef.Recon)
+	}
 	ef.Index = e.frameCount
 	for i := range ef.Slices {
 		ef.Slices[i].FrameIndex = e.frameCount
@@ -252,38 +303,86 @@ func (e *Encoder) encodeAttempt(frame *vmath.Plane, ftype FrameType, q float32) 
 // encodeMBRow encodes one macroblock row into w, reconstructing into recon.
 // The motion-vector predictor resets at the start of every row so that
 // slices (which are whole rows) stay independently decodable.
+//
+// For P frames the row splits into a decision step — skip check first (a
+// skipped block never needs a search), then predictive motion search, then
+// the intra fallback — and an emission step. Decisions land in the
+// mode/mv/sad fields; when e.searchValid is set (rate-control re-encode)
+// the decision step is skipped entirely and the cached fields replay,
+// producing the identical bitstream a fresh search would (decisions are
+// q-independent). Temporal state (e.prevMVs/prevSADs) is read-only during
+// the frame and all per-block writes go to this row's own field slots, so
+// rows stay bit-exact under any worker-pool size.
 func (e *Encoder) encodeMBRow(frame, recon *vmath.Plane, ftype FrameType, q float32, row int, w *bits.Writer) {
-	pred := MV{}
 	cy := row * MBSize
+	if ftype == FrameI {
+		for col := 0; col < e.mbCols; col++ {
+			w.WriteUE(uint32(modeIntra))
+			e.codeIntraMB(frame, recon, col*MBSize, cy, q, w)
+		}
+		return
+	}
+	var st searchStats
+	var prevMVs []MV
+	if e.motionValid {
+		prevMVs = e.prevMVs
+	}
+	pred := MV{}
+	lastSAD := int64(-1)
 	for col := 0; col < e.mbCols; col++ {
 		cx := col * MBSize
-		if ftype == FrameI {
-			w.WriteUE(uint32(modeIntra))
-			e.codeIntraMB(frame, recon, cx, cy, q, w)
-			continue
+		idx := row*e.mbCols + col
+		if !e.searchValid {
+			// Skip: the predictor vector is already good enough — decided
+			// before any search, so skipped blocks cost one SAD.
+			st.points++
+			sadPred := sadMB(e.curB, e.refB, cx, cy, pred, 1<<62, &st)
+			if sadPred <= skipSADMax {
+				e.modeField[idx] = modeSkip
+				e.mvField[idx] = pred
+				e.sadField[idx] = sadPred
+			} else {
+				prevSAD := int64(-1)
+				if e.motionValid {
+					prevSAD = e.prevSADs[idx]
+				}
+				seed := predictMV(prevMVs, e.mbCols, row, col, pred)
+				mv, sad := searchMV(e.curB, e.refB, cx, cy, seed, pred,
+					e.cfg.SearchRange, earlyTerm(lastSAD, prevSAD), &st)
+				// Intra fallback when motion compensation fails (scene cut,
+				// new content): compare against deviation from the block mean.
+				if sad > intraCost(frame, cx, cy) {
+					e.modeField[idx] = modeIntra
+					e.mvField[idx] = MV{}
+					e.sadField[idx] = -1
+				} else {
+					e.modeField[idx] = modeInter
+					e.mvField[idx] = mv
+					e.sadField[idx] = sad
+				}
+			}
 		}
-		mv, sad := searchMV(frame, e.ref, cx, cy, pred, e.cfg.SearchRange)
-		sadPred := sadMB(frame, e.ref, cx, cy, pred, 1<<62)
-		// Skip: predictor vector is already good enough.
-		if sadPred <= int64(MBSize*MBSize*2) {
+		switch e.modeField[idx] {
+		case modeSkip:
 			w.WriteUE(uint32(modeSkip))
 			mcMB(e.ref, recon, cx, cy, pred, e.cfg.W, e.cfg.H)
-			continue
-		}
-		// Intra fallback when motion compensation fails (scene cut, new
-		// content): compare against deviation from the block mean.
-		if sad > intraCost(frame, cx, cy) {
+			lastSAD = e.sadField[idx]
+		case modeIntra:
 			w.WriteUE(uint32(modeIntra))
 			e.codeIntraMB(frame, recon, cx, cy, q, w)
 			pred = MV{}
-			continue
+			lastSAD = -1
+		case modeInter:
+			mv := e.mvField[idx]
+			w.WriteUE(uint32(modeInter))
+			w.WriteSE(int32(mv.X - pred.X))
+			w.WriteSE(int32(mv.Y - pred.Y))
+			e.codeInterMB(frame, recon, cx, cy, mv, q, w)
+			pred = mv
+			lastSAD = e.sadField[idx]
 		}
-		w.WriteUE(uint32(modeInter))
-		w.WriteSE(int32(mv.X - pred.X))
-		w.WriteSE(int32(mv.Y - pred.Y))
-		e.codeInterMB(frame, recon, cx, cy, mv, q, w)
-		pred = mv
 	}
+	st.flush()
 }
 
 type mbMode uint32
@@ -293,6 +392,10 @@ const (
 	modeInter
 	modeIntra
 )
+
+// skipSADMax is the skip-mode threshold: a predictor-vector SAD at or
+// below ~2 grey levels per pixel codes as a skip.
+const skipSADMax = int64(MBSize * MBSize * 2)
 
 // intraCost estimates the cost of intra-coding a macroblock as its total
 // absolute deviation from the block mean, scaled up slightly to bias toward
@@ -391,7 +494,7 @@ func (e *Encoder) codeInterMB(frame, recon *vmath.Plane, cx, cy int, mv MV, q fl
 // the reconstructed (dequantised, inverse-transformed) block.
 func codeBlock(blk *[64]float32, q float32, w *bits.Writer) *[64]float32 {
 	var coef [64]float32
-	fdct8(blk, &coef)
+	xf.fdct(blk, &coef)
 	var levels [64]int32
 	quantise(&coef, q, &levels)
 
@@ -417,7 +520,7 @@ func codeBlock(blk *[64]float32, q float32, w *bits.Writer) *[64]float32 {
 	var deq [64]float32
 	dequantise(&levels, q, &deq)
 	var rec [64]float32
-	idct8(&deq, &rec)
+	xf.idct(&deq, &rec)
 	return &rec
 }
 
@@ -681,6 +784,6 @@ func decodeBlock(r *bits.Reader, q float32) (*[64]float32, error) {
 	var deq [64]float32
 	dequantise(&levels, q, &deq)
 	var rec [64]float32
-	idct8(&deq, &rec)
+	xf.idct(&deq, &rec)
 	return &rec, nil
 }

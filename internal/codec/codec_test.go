@@ -21,13 +21,19 @@ func testClip(t *testing.T, n int) []*vmath.Plane {
 }
 
 func TestDCTRoundTrip(t *testing.T) {
+	// Transform-set-aware round trip: forward output is descaled from the
+	// active set's forward domain into its inverse domain (a uniform 1/64
+	// for AAN, identity for the reference set).
 	rng := rand.New(rand.NewSource(1))
 	var blk, coef, rec [64]float32
 	for i := range blk {
 		blk[i] = rng.Float32()*255 - 128
 	}
-	fdct8(&blk, &coef)
-	idct8(&coef, &rec)
+	xf.fdct(&blk, &coef)
+	for i := range coef {
+		coef[i] *= xf.invScale[i] / xf.fwdScale[i]
+	}
+	xf.idct(&coef, &rec)
 	for i := range blk {
 		if math.Abs(float64(blk[i]-rec[i])) > 1e-3 {
 			t.Fatalf("DCT round trip error at %d: %v vs %v", i, blk[i], rec[i])
@@ -43,7 +49,7 @@ func TestDCTEnergyCompaction(t *testing.T) {
 			blk[y*8+x] = float32(10 * x)
 		}
 	}
-	fdct8(&blk, &coef)
+	fdct8Ref(&blk, &coef)
 	var low, high float64
 	for v := 0; v < 8; v++ {
 		for u := 0; u < 8; u++ {
@@ -71,18 +77,24 @@ func TestZigzagIsPermutation(t *testing.T) {
 }
 
 func TestQuantiseRoundTripCoarse(t *testing.T) {
+	// quantise consumes the active transform's scaled forward domain and
+	// dequantise emits its scaled inverse domain; mapping true coefficients
+	// in and out of those domains must round-trip to within half a
+	// quantiser step, for any transform set.
 	rng := rand.New(rand.NewSource(2))
-	var coef, deq [64]float32
+	var truth, coef, deq [64]float32
 	var levels [64]int32
-	for i := range coef {
-		coef[i] = rng.Float32()*200 - 100
+	for i := range truth {
+		truth[i] = rng.Float32()*200 - 100
+		coef[i] = truth[i] * xf.fwdScale[i]
 	}
 	quantise(&coef, 2, &levels)
 	dequantise(&levels, 2, &deq)
-	for i := range coef {
+	for i := range truth {
 		step := 2 * quantWeight[i]
-		if math.Abs(float64(coef[i]-deq[i])) > float64(step)/2+1e-4 {
-			t.Fatalf("quantisation error beyond half step at %d", i)
+		got := deq[i] / xf.invScale[i]
+		if math.Abs(float64(truth[i]-got)) > float64(step)/2+1e-3 {
+			t.Fatalf("quantisation error beyond half step at %d: %v vs %v", i, truth[i], got)
 		}
 	}
 }
@@ -313,12 +325,20 @@ func TestMotionSearchFindsTranslation(t *testing.T) {
 			cur.Set(x, y, ref.AtClamp(x+3, y-2))
 		}
 	}
-	mv, sad := searchMV(cur, ref, 40, 40, MV{}, 15)
+	curB := vmath.GetBytes(96, 96).FromPlane(cur)
+	refB := vmath.GetBytes(96, 96).FromPlane(ref)
+	defer vmath.PutBytes(curB)
+	defer vmath.PutBytes(refB)
+	var st searchStats
+	mv, sad := searchMV(curB, refB, 40, 40, MV{}, MV{}, 15, 0, &st)
 	if mv.X != 3 || mv.Y != -2 {
 		t.Fatalf("found mv %v (sad %d), want {3 -2}", mv, sad)
 	}
 	if sad != 0 {
 		t.Fatalf("sad=%d want 0", sad)
+	}
+	if st.points == 0 {
+		t.Fatal("search evaluated no points")
 	}
 }
 

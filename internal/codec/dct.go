@@ -2,34 +2,41 @@
 // stands in for VP9/H.264 in the NERVE reproduction (see DESIGN.md §1).
 //
 // It is a real, if compact, codec: 16×16 motion-compensated macroblocks,
-// 8×8 DCT of intra pixels or inter residuals, frequency-weighted uniform
-// quantisation, zigzag run/level entropy coding with Exp-Golomb codes, GOP
-// structure with periodic intra frames, per-frame rate control toward a
-// target bitrate, and slice-based packetisation so that packet loss yields
-// partially decodable frames (the Ipart input of the recovery model).
+// 8×8 AAN butterfly DCT of intra pixels or inter residuals (reference
+// basis-matrix transforms are kept as test oracles and behind the codecref
+// build tag), frequency-weighted uniform quantisation, zigzag run/level
+// entropy coding with Exp-Golomb codes, GOP structure with periodic intra
+// frames, per-frame rate control toward a target bitrate, and slice-based
+// packetisation so that packet loss yields partially decodable frames (the
+// Ipart input of the recovery model).
 package codec
 
 import "math"
 
 const blockSize = 8
 
-// dctBasis[u][x] = C(u)·cos((2x+1)uπ/16) — the 1-D DCT-II basis.
-var dctBasis [blockSize][blockSize]float32
+// dctBasis[u][x] = C(u)·cos((2x+1)uπ/16) — the 1-D orthonormal DCT-II
+// basis, used by the reference transforms.
+var dctBasis = makeDCTBasis()
 
-func init() {
+func makeDCTBasis() (b [blockSize][blockSize]float32) {
 	for u := 0; u < blockSize; u++ {
 		c := math.Sqrt(2.0 / blockSize)
 		if u == 0 {
 			c = math.Sqrt(1.0 / blockSize)
 		}
 		for x := 0; x < blockSize; x++ {
-			dctBasis[u][x] = float32(c * math.Cos(float64(2*x+1)*float64(u)*math.Pi/(2*blockSize)))
+			b[u][x] = float32(c * math.Cos(float64(2*x+1)*float64(u)*math.Pi/(2*blockSize)))
 		}
 	}
+	return b
 }
 
-// fdct8 computes the 2-D forward DCT of an 8×8 block (row-major in/out).
-func fdct8(in, out *[64]float32) {
+// fdct8Ref computes the 2-D forward DCT of an 8×8 block (row-major in/out)
+// by direct basis-matrix multiplication: the unscaled orthonormal DCT-II.
+// It is the differential-test oracle for the AAN fast path and the active
+// transform in `-tags codecref` builds.
+func fdct8Ref(in, out *[64]float32) {
 	var tmp [64]float32
 	// Rows.
 	for y := 0; y < 8; y++ {
@@ -53,8 +60,9 @@ func fdct8(in, out *[64]float32) {
 	}
 }
 
-// idct8 computes the 2-D inverse DCT of an 8×8 coefficient block.
-func idct8(in, out *[64]float32) {
+// idct8Ref computes the 2-D inverse DCT of an 8×8 coefficient block by
+// direct basis-matrix multiplication (oracle / codecref twin of fdct8Ref).
+func idct8Ref(in, out *[64]float32) {
 	var tmp [64]float32
 	// Columns.
 	for u := 0; u < 8; u++ {
@@ -78,6 +86,49 @@ func idct8(in, out *[64]float32) {
 	}
 }
 
+// transformSet bundles a forward/inverse transform pair with its diagonal
+// scaling, folded into the quantiser tables (see DESIGN.md §10):
+//
+//   - fdct produces fwdScale[i]·X[i] where X is the orthonormal DCT; idct
+//     expects invScale[i]·X[i] as input. The reference set has all-ones
+//     scales; the AAN set has fwdScale = 8·aan[u]·aan[v] and
+//     invScale = aan[u]·aan[v]/8, so invScale/fwdScale = 1/64 uniformly.
+//   - quantRecip[i] = 1/(quantWeight[i]·fwdScale[i]) and
+//     dequantStep[i] = quantWeight[i]·invScale[i] make quantise/dequantise
+//     produce the same integer levels and the same reconstructed true
+//     coefficients as the unscaled transform would — scaling costs zero
+//     extra multiplies, and bitstreams are interchangeable across sets.
+type transformSet struct {
+	fdct, idct  func(in, out *[64]float32)
+	fwdScale    [64]float32
+	invScale    [64]float32
+	quantRecip  [64]float32
+	dequantStep [64]float32
+}
+
+// xf is the active transform set. It is chosen at build time by
+// defaultTransforms (AAN unless built with -tags codecref) and swapped only
+// by the package's own parity tests.
+var xf = defaultTransforms()
+
+func newTransformSet(fdct, idct func(in, out *[64]float32), fwd, inv [64]float32) transformSet {
+	ts := transformSet{fdct: fdct, idct: idct, fwdScale: fwd, invScale: inv}
+	for i := range ts.quantRecip {
+		ts.quantRecip[i] = 1 / (quantWeight[i] * fwd[i])
+		ts.dequantStep[i] = quantWeight[i] * inv[i]
+	}
+	return ts
+}
+
+// refTransforms returns the basis-matrix transform set (unit scales).
+func refTransforms() transformSet {
+	var one [64]float32
+	for i := range one {
+		one[i] = 1
+	}
+	return newTransformSet(fdct8Ref, idct8Ref, one, one)
+}
+
 // zigzag is the standard 8×8 zigzag scan order.
 var zigzag = [64]int{
 	0, 1, 8, 16, 9, 2, 3, 10,
@@ -92,27 +143,40 @@ var zigzag = [64]int{
 
 // quantWeight is a JPEG-inspired frequency weighting: low frequencies are
 // quantised finely, high frequencies coarsely.
-var quantWeight [64]float32
+var quantWeight = makeQuantWeight()
 
-func init() {
+func makeQuantWeight() (w [64]float32) {
 	for v := 0; v < 8; v++ {
 		for u := 0; u < 8; u++ {
-			quantWeight[v*8+u] = 1 + 0.6*float32(u+v)
+			w[v*8+u] = 1 + 0.6*float32(u+v)
 		}
 	}
+	return w
 }
 
-// quantise maps coefficients to integer levels for quantiser step q.
+// quantise maps fdct output (in the active set's scaled domain) to integer
+// levels for quantiser step q: round(X[i] / (q·quantWeight[i])) in the true
+// coefficient domain, with the descale folded into quantRecip.
 func quantise(coef *[64]float32, q float32, levels *[64]int32) {
+	invQ := 1 / q
 	for i := 0; i < 64; i++ {
-		step := q * quantWeight[i]
-		levels[i] = int32(math.Round(float64(coef[i] / step)))
+		levels[i] = roundLevel(coef[i] * xf.quantRecip[i] * invQ)
 	}
 }
 
-// dequantise reconstructs coefficients from levels.
+// dequantise reconstructs idct input (in the active set's scaled domain)
+// from levels.
 func dequantise(levels *[64]int32, q float32, coef *[64]float32) {
 	for i := 0; i < 64; i++ {
-		coef[i] = float32(levels[i]) * q * quantWeight[i]
+		coef[i] = float32(levels[i]) * q * xf.dequantStep[i]
 	}
+}
+
+// roundLevel rounds half away from zero, like math.Round, without the
+// float64 round trip.
+func roundLevel(v float32) int32 {
+	if v >= 0 {
+		return int32(v + 0.5)
+	}
+	return int32(v - 0.5)
 }

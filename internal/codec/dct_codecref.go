@@ -1,0 +1,12 @@
+//go:build codecref
+
+package codec
+
+// defaultTransforms selects the basis-matrix reference transforms when
+// built with -tags codecref — the escape hatch for isolating suspected
+// fast-path numerics.
+func defaultTransforms() transformSet { return refTransforms() }
+
+// RefTransformsForced reports whether this binary was built with
+// -tags codecref (reference DCT forced).
+const RefTransformsForced = true

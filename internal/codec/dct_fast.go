@@ -1,0 +1,13 @@
+//go:build !codecref
+
+package codec
+
+// defaultTransforms selects the AAN fast transforms in normal builds. The
+// codecref build tag swaps in the basis-matrix reference transforms — an
+// escape hatch for isolating suspected fast-path numerics (bitstreams stay
+// interchangeable between the two builds; see transformSet).
+func defaultTransforms() transformSet { return aanTransforms() }
+
+// RefTransformsForced reports whether this binary was built with
+// -tags codecref (reference DCT forced).
+const RefTransformsForced = false

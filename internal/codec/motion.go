@@ -1,7 +1,10 @@
 package codec
 
 import (
+	"encoding/binary"
+
 	"nerve/internal/par"
+	"nerve/internal/telemetry"
 	"nerve/internal/vmath"
 )
 
@@ -11,11 +14,74 @@ const MBSize = 16
 // MV is a full-pel motion vector.
 type MV struct{ X, Y int }
 
+// Search pruning telemetry. search.points counts SAD evaluations,
+// sad.early_exits counts SADs abandoned mid-block once they exceeded the
+// best so far, search.early_terms counts macroblocks whose diamond search
+// stopped at the adaptive threshold. See OBSERVABILITY.md.
+var (
+	cSearchPoints = telemetry.NewCounter("search.points")
+	cSADEarlyExit = telemetry.NewCounter("sad.early_exits")
+	cEarlyTerms   = telemetry.NewCounter("search.early_terms")
+)
+
+// searchStats batches counter increments for one macroblock row so the hot
+// loop pays one gated atomic add per counter per row, not per SAD.
+type searchStats struct {
+	points, sadExits, earlyTerms int64
+}
+
+func (s *searchStats) flush() {
+	cSearchPoints.Add(s.points)
+	cSADEarlyExit.Add(s.sadExits)
+	cEarlyTerms.Add(s.earlyTerms)
+	*s = searchStats{}
+}
+
 // sadMB computes the sum of absolute differences between the MBSize×MBSize
 // block of cur at (cx, cy) and the block of ref at (cx+mv.X, cy+mv.Y),
 // clamping reads at the frame border. Early-exits once the partial SAD
-// exceeds best.
-func sadMB(cur, ref *vmath.Plane, cx, cy int, mv MV, best int64) int64 {
+// after a block row reaches best (the returned partial sum is then only a
+// lower bound, exactly like the pre-byte implementation). Interior blocks
+// take a packed-uint64 fast path; blocks touching any border take the
+// clamped scalar path. Both orders their additions identically, so the
+// result is independent of the path taken.
+func sadMB(cur, ref *vmath.BytePlane, cx, cy int, mv MV, best int64, st *searchStats) int64 {
+	if cx >= 0 && cy >= 0 && cx+MBSize <= cur.W && cy+MBSize <= cur.H &&
+		cx+mv.X >= 0 && cy+mv.Y >= 0 && cx+mv.X+MBSize <= ref.W && cy+mv.Y+MBSize <= ref.H {
+		return sadMBInterior(cur, ref, cx, cy, mv, best, st)
+	}
+	return sadMBBorder(cur, ref, cx, cy, mv, best, st)
+}
+
+// sadMBInterior is the clamp-free fast path: both blocks fully inside
+// their planes, 8 pixels per uint64 packed absolute difference.
+func sadMBInterior(cur, ref *vmath.BytePlane, cx, cy int, mv MV, best int64, st *searchStats) int64 {
+	var sad int64
+	w := cur.W
+	co := cy*w + cx
+	ro := (cy+mv.Y)*ref.W + cx + mv.X
+	for y := 0; y < MBSize; y++ {
+		c := cur.Pix[co : co+MBSize : co+MBSize]
+		r := ref.Pix[ro : ro+MBSize : ro+MBSize]
+		sad += int64(sad8(binary.LittleEndian.Uint64(c), binary.LittleEndian.Uint64(r)) +
+			sad8(binary.LittleEndian.Uint64(c[8:]), binary.LittleEndian.Uint64(r[8:])))
+		co += w
+		ro += ref.W
+		if sad >= best {
+			if y < MBSize-1 {
+				st.sadExits++
+			}
+			return sad
+		}
+	}
+	return sad
+}
+
+// sadMBBorder is the clamped path for macroblocks that touch (or whose
+// displaced reference block crosses) a frame border. It mirrors the
+// original float implementation: pixels beyond the right/bottom edge of
+// cur fall outside the (clipped) block, reference reads clamp.
+func sadMBBorder(cur, ref *vmath.BytePlane, cx, cy int, mv MV, best int64, st *searchStats) int64 {
 	var sad int64
 	for y := 0; y < MBSize; y++ {
 		py := cy + y
@@ -27,17 +93,46 @@ func sadMB(cur, ref *vmath.Plane, cx, cy int, mv MV, best int64) int64 {
 			if px >= cur.W {
 				break
 			}
-			d := cur.Pix[py*cur.W+px] - ref.AtClamp(px+mv.X, py+mv.Y)
+			d := int64(cur.Pix[py*cur.W+px]) - int64(ref.AtClamp(px+mv.X, py+mv.Y))
 			if d < 0 {
 				d = -d
 			}
-			sad += int64(d)
+			sad += d
 		}
 		if sad >= best {
+			if y < MBSize-1 {
+				st.sadExits++
+			}
 			return sad
 		}
 	}
 	return sad
+}
+
+// sad8 returns the sum of absolute differences of the 8 byte lanes of x
+// and y (SWAR: bytes split into even/odd 16-bit lanes, per-lane |max−min|,
+// horizontal sum by multiply). Lane sums peak at 8·255 = 2040, well inside
+// a 16-bit lane, so nothing overflows.
+func sad8(x, y uint64) uint64 {
+	const (
+		lanes = 0x00ff00ff00ff00ff
+		ones  = 0x0001000100010001
+	)
+	xe, ye := x&lanes, y&lanes
+	xo, yo := (x>>8)&lanes, (y>>8)&lanes
+	return ((absLanes(xe, ye) + absLanes(xo, yo)) * ones) >> 48
+}
+
+// absLanes computes per-16-bit-lane |x−y| for lane values ≤ 255: a guard
+// bit at position 8 of each lane records x≥y without cross-lane borrows,
+// becomes a 0xff/0x00 lane mask, and selects max−min per lane.
+func absLanes(x, y uint64) uint64 {
+	const guard = 0x0100010001000100
+	s := ((x | guard) - y) & guard
+	m := s - (s >> 8)
+	max := (x & m) | (y &^ m)
+	min := (y & m) | (x &^ m)
+	return max - min
 }
 
 // diamond search patterns.
@@ -46,10 +141,85 @@ var (
 	smallDiamond = []MV{{0, -1}, {-1, 0}, {1, 0}, {0, 1}}
 )
 
+// mvCostLambda prices one pel of motion-vector difference from the
+// bitstream predictor in SAD units — a cheap stand-in for the Exp-Golomb
+// bit cost of WriteSE(mv−pred), biasing the search toward vectors that
+// code small.
+const mvCostLambda = 4
+
+// Adaptive early-termination bounds, in SAD units for a full 16×16 block.
+const (
+	earlyTermFloor = int64(MBSize * MBSize)     // ~1 grey level per pixel
+	earlyTermCap   = int64(8 * MBSize * MBSize) // never accept worse than 8 levels
+)
+
+// earlyTerm returns the adaptive early-termination threshold for a block
+// given the best SADs of its left neighbour (current row; −1 = unknown)
+// and of the co-located block in the previous frame (−1 = unknown): the
+// better of the two ×1.25, clamped to [earlyTermFloor, earlyTermCap]. A
+// block whose best-so-far SAD is at or below the threshold stops searching
+// — its match is already as good as the neighbourhood says is achievable.
+func earlyTerm(leftSAD, prevSAD int64) int64 {
+	t := leftSAD
+	if prevSAD >= 0 && (t < 0 || prevSAD < t) {
+		t = prevSAD
+	}
+	if t < 0 {
+		return earlyTermFloor
+	}
+	t += t >> 2
+	if t < earlyTermFloor {
+		return earlyTermFloor
+	}
+	if t > earlyTermCap {
+		return earlyTermCap
+	}
+	return t
+}
+
+// median3 returns the median of three ints.
+func median3(a, b, c int) int {
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b = c
+	}
+	if a > b {
+		b = a
+	}
+	return b
+}
+
+// predictMV returns the diamond-search seed for macroblock (row, col): the
+// component-wise median of the left neighbour's vector (current frame) and
+// the top / top-right neighbours from the previous frame's motion field.
+// Temporal stand-ins for the spatial top neighbours keep macroblock rows
+// independent, preserving the bit-exact row-parallel encode (DESIGN.md
+// §6); the first row uses the co-located previous-frame vectors. With no
+// previous field the seed degrades to the left vector alone.
+func predictMV(prev []MV, cols, row, col int, left MV) MV {
+	if prev == nil {
+		return left
+	}
+	r := row - 1
+	if r < 0 {
+		r = 0
+	}
+	top := prev[r*cols+col]
+	var tr MV
+	if col+1 < cols {
+		tr = prev[r*cols+col+1]
+	}
+	return MV{median3(left.X, top.X, tr.X), median3(left.Y, top.Y, tr.Y)}
+}
+
 // searchMV finds a motion vector for the macroblock at (cx, cy) in cur
-// relative to ref using diamond search seeded by pred, within ±maxRange.
-// It returns the vector and its SAD.
-func searchMV(cur, ref *vmath.Plane, cx, cy int, pred MV, maxRange int) (MV, int64) {
+// relative to ref using diamond search seeded by seed, within ±maxRange.
+// Candidates compete on SAD plus an mvCostLambda-weighted distance from
+// anchor (the bitstream MV predictor); the search stops early once the
+// best SAD reaches earlyT. It returns the winning vector and its raw SAD.
+func searchMV(cur, ref *vmath.BytePlane, cx, cy int, seed, anchor MV, maxRange int, earlyT int64, st *searchStats) (MV, int64) {
 	clampMV := func(m MV) MV {
 		if m.X > maxRange {
 			m.X = maxRange
@@ -63,15 +233,45 @@ func searchMV(cur, ref *vmath.Plane, cx, cy int, pred MV, maxRange int) (MV, int
 		}
 		return m
 	}
-	best := clampMV(pred)
-	bestSAD := sadMB(cur, ref, cx, cy, best, 1<<62)
-	// Also try the zero vector as a second seed.
-	if z := (MV{}); z != best {
-		if s := sadMB(cur, ref, cx, cy, z, bestSAD); s < bestSAD {
-			best, bestSAD = z, s
+	mvCost := func(m MV) int64 {
+		dx, dy := m.X-anchor.X, m.Y-anchor.Y
+		if dx < 0 {
+			dx = -dx
 		}
+		if dy < 0 {
+			dy = -dy
+		}
+		return mvCostLambda * int64(dx+dy)
 	}
-	// Large diamond until the centre is best.
+	best := clampMV(seed)
+	st.points++
+	bestSAD := sadMB(cur, ref, cx, cy, best, 1<<62, st)
+	bestCost := bestSAD + mvCost(best)
+	// try evaluates cand with a SAD budget of the margin it would need to
+	// win on cost; candidates whose MV cost alone disqualifies them are
+	// skipped without touching pixels.
+	try := func(cand MV) bool {
+		budget := bestCost - mvCost(cand)
+		if budget <= 0 {
+			return false
+		}
+		st.points++
+		s := sadMB(cur, ref, cx, cy, cand, budget, st)
+		if c := s + mvCost(cand); c < bestCost {
+			best, bestSAD, bestCost = cand, s, c
+			return true
+		}
+		return false
+	}
+	// The zero vector as a second seed.
+	if z := (MV{}); z != best {
+		try(z)
+	}
+	if bestSAD <= earlyT {
+		st.earlyTerms++
+		return best, bestSAD
+	}
+	// Large diamond until the centre is best or the match is good enough.
 	for iter := 0; iter < 32; iter++ {
 		improved := false
 		for _, d := range largeDiamond {
@@ -79,53 +279,77 @@ func searchMV(cur, ref *vmath.Plane, cx, cy int, pred MV, maxRange int) (MV, int
 			if cand == best {
 				continue
 			}
-			if s := sadMB(cur, ref, cx, cy, cand, bestSAD); s < bestSAD {
-				best, bestSAD = cand, s
+			if try(cand) {
 				improved = true
 			}
 		}
 		if !improved {
 			break
 		}
+		if bestSAD <= earlyT {
+			st.earlyTerms++
+			return best, bestSAD
+		}
 	}
 	// Small-diamond refinement.
 	for _, d := range smallDiamond {
 		cand := clampMV(MV{best.X + d.X, best.Y + d.Y})
-		if s := sadMB(cur, ref, cx, cy, cand, bestSAD); s < bestSAD {
-			best, bestSAD = cand, s
+		if cand == best {
+			continue
 		}
+		try(cand)
 	}
 	return best, bestSAD
 }
 
-// SearchFrameInto motion-searches every macroblock of cur against ref into
-// the caller-supplied scratch mvs, growing it only when too small, and
-// returns the vectors in macroblock raster order. Per-frame callers keep
-// the returned slice and pass it back the next frame for a zero-allocation
-// steady state. Rows run concurrently on the shared pool — the same
-// row-of-macroblocks granularity the encoder uses — and within a row each
-// search is seeded by the previous block's vector, so the result is
-// identical for any pool size.
-func SearchFrameInto(mvs []MV, cur, ref *vmath.Plane, maxRange int) []MV {
+// SearchFramePredInto motion-searches every macroblock of cur against ref
+// into the caller-supplied scratch mvs, growing it only when too small,
+// and returns the vectors in macroblock raster order. prev, when non-nil,
+// is the previous frame's motion field in the same layout and seeds each
+// search with the median predictor (predictMV); nil degrades to plain
+// left-vector seeding. Byte shadows of both planes are built in pooled
+// buffers for the duration of the call. Rows run concurrently on the
+// shared pool; within a row each search is seeded from already-final
+// state only, so the result is identical for any pool size.
+func SearchFramePredInto(mvs, prev []MV, cur, ref *vmath.Plane, maxRange int) []MV {
 	if cur.W != ref.W || cur.H != ref.H {
 		panic("codec: SearchFrame plane size mismatch")
 	}
 	mbRows := (cur.H + MBSize - 1) / MBSize
 	mbCols := (cur.W + MBSize - 1) / MBSize
 	n := mbRows * mbCols
+	if prev != nil && len(prev) != n {
+		panic("codec: SearchFrame previous field size mismatch")
+	}
 	if cap(mvs) < n {
 		mvs = make([]MV, n)
 	}
 	mvs = mvs[:n]
+	curB := vmath.GetBytes(cur.W, cur.H).FromPlane(cur)
+	refB := vmath.GetBytes(ref.W, ref.H).FromPlane(ref)
 	par.For(mbRows, func(row int) {
-		pred := MV{}
+		var st searchStats
+		left := MV{}
+		lastSAD := int64(-1)
 		for col := 0; col < mbCols; col++ {
-			mv, _ := searchMV(cur, ref, col*MBSize, row*MBSize, pred, maxRange)
+			seed := predictMV(prev, mbCols, row, col, left)
+			mv, sad := searchMV(curB, refB, col*MBSize, row*MBSize, seed, left, maxRange, earlyTerm(lastSAD, -1), &st)
 			mvs[row*mbCols+col] = mv
-			pred = mv
+			left = mv
+			lastSAD = sad
 		}
+		st.flush()
 	})
+	vmath.PutBytes(curB)
+	vmath.PutBytes(refB)
 	return mvs
+}
+
+// SearchFrameInto is SearchFramePredInto without a previous motion field.
+// Per-frame callers keep the returned slice and pass it back the next
+// frame for a zero-allocation steady state.
+func SearchFrameInto(mvs []MV, cur, ref *vmath.Plane, maxRange int) []MV {
+	return SearchFramePredInto(mvs, nil, cur, ref, maxRange)
 }
 
 // SearchFrame motion-searches every macroblock of cur against ref and

@@ -1,0 +1,172 @@
+package codec
+
+import (
+	"math/rand"
+	"testing"
+
+	"nerve/internal/vmath"
+)
+
+// sadRefClamped is the original sadMB: a scalar clamped loop over every
+// pixel with the per-row early exit, ported byte-for-byte to BytePlane. It
+// is the oracle both the interior SWAR path and the border path must match
+// exactly — including the partial sums returned after an early exit.
+func sadRefClamped(cur, ref *vmath.BytePlane, cx, cy int, mv MV, best int64) int64 {
+	var sad int64
+	for y := 0; y < MBSize; y++ {
+		py := cy + y
+		if py >= cur.H {
+			break
+		}
+		for x := 0; x < MBSize; x++ {
+			px := cx + x
+			if px >= cur.W {
+				break
+			}
+			d := int64(cur.Pix[py*cur.W+px]) - int64(ref.AtClamp(px+mv.X, py+mv.Y))
+			if d < 0 {
+				d = -d
+			}
+			sad += d
+		}
+		if sad >= best {
+			return sad
+		}
+	}
+	return sad
+}
+
+func randomBytePlane(rng *rand.Rand, w, h int) *vmath.BytePlane {
+	p := vmath.NewBytePlane(w, h)
+	for i := range p.Pix {
+		p.Pix[i] = uint8(rng.Intn(256))
+	}
+	return p
+}
+
+// TestSADMatchesClampedReference sweeps every macroblock position of a
+// plane with ragged right/bottom edges (40×24: partial blocks on both),
+// every displacement in ±6 and several early-exit budgets, and demands
+// sadMB — whichever of its two paths runs — return exactly what the
+// original clamped implementation returns.
+func TestSADMatchesClampedReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	cur := randomBytePlane(rng, 40, 24)
+	ref := randomBytePlane(rng, 40, 24)
+	var st searchStats
+	budgets := []int64{1 << 62, 2000, 500, 100, 1}
+	for cy := 0; cy < cur.H; cy += MBSize {
+		for cx := 0; cx < cur.W; cx += MBSize {
+			for dy := -6; dy <= 6; dy++ {
+				for dx := -6; dx <= 6; dx++ {
+					mv := MV{dx, dy}
+					for _, best := range budgets {
+						got := sadMB(cur, ref, cx, cy, mv, best, &st)
+						want := sadRefClamped(cur, ref, cx, cy, mv, best)
+						if got != want {
+							t.Fatalf("sadMB(cx=%d cy=%d mv=%v best=%d) = %d, want %d",
+								cx, cy, mv, best, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSADInteriorPathTaken pins the path split itself: a fully interior
+// block matches the oracle through sadMBInterior, a border block through
+// sadMBBorder, and the two paths agree with each other where both are
+// legal.
+func TestSADInteriorPathTaken(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	cur := randomBytePlane(rng, 64, 48)
+	ref := randomBytePlane(rng, 64, 48)
+	var st searchStats
+	// (16,16) with mv (±3) stays interior.
+	for _, mv := range []MV{{0, 0}, {3, -3}, {-3, 3}} {
+		in := sadMBInterior(cur, ref, 16, 16, mv, 1<<62, &st)
+		bo := sadMBBorder(cur, ref, 16, 16, mv, 1<<62, &st)
+		want := sadRefClamped(cur, ref, 16, 16, mv, 1<<62)
+		if in != want || bo != want {
+			t.Fatalf("mv=%v interior=%d border=%d want=%d", mv, in, bo, want)
+		}
+	}
+	// A displacement pushing the reference block past the edge must route
+	// to the border path and still match.
+	got := sadMB(cur, ref, 48, 32, MV{10, 10}, 1<<62, &st)
+	want := sadRefClamped(cur, ref, 48, 32, MV{10, 10}, 1<<62)
+	if got != want {
+		t.Fatalf("border-clamped sad %d, want %d", got, want)
+	}
+}
+
+// TestSAD8SWAR exercises the packed 8-byte SAD kernel against a scalar
+// loop on random words and adversarial extremes (all-0xff vs all-0x00,
+// alternating saturation, single-byte deltas in every lane).
+func TestSAD8SWAR(t *testing.T) {
+	scalar := func(a, b [8]byte) uint64 {
+		var s uint64
+		for i := range a {
+			d := int(a[i]) - int(b[i])
+			if d < 0 {
+				d = -d
+			}
+			s += uint64(d)
+		}
+		return s
+	}
+	pack := func(b [8]byte) uint64 {
+		var v uint64
+		for i := 7; i >= 0; i-- {
+			v = v<<8 | uint64(b[i])
+		}
+		return v
+	}
+	check := func(a, b [8]byte) {
+		t.Helper()
+		if got, want := sad8(pack(a), pack(b)), scalar(a, b); got != want {
+			t.Fatalf("sad8(%v, %v) = %d, want %d", a, b, got, want)
+		}
+	}
+	check([8]byte{}, [8]byte{})
+	check([8]byte{255, 255, 255, 255, 255, 255, 255, 255}, [8]byte{})
+	check([8]byte{}, [8]byte{255, 255, 255, 255, 255, 255, 255, 255})
+	check([8]byte{0, 255, 0, 255, 0, 255, 0, 255}, [8]byte{255, 0, 255, 0, 255, 0, 255, 0})
+	for lane := 0; lane < 8; lane++ {
+		var a, b [8]byte
+		a[lane] = 1
+		check(a, b)
+		check(b, a)
+		a[lane] = 255
+		b[lane] = 254
+		check(a, b)
+		check(b, a)
+	}
+	rng := rand.New(rand.NewSource(23))
+	for n := 0; n < 20000; n++ {
+		var a, b [8]byte
+		for i := range a {
+			a[i] = uint8(rng.Intn(256))
+			b[i] = uint8(rng.Intn(256))
+		}
+		check(a, b)
+	}
+}
+
+// TestSADEarlyExitCounts checks the sad.early_exits stat fires only when
+// block rows were actually skipped.
+func TestSADEarlyExitCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	cur := randomBytePlane(rng, 32, 32)
+	ref := randomBytePlane(rng, 32, 32)
+	var st searchStats
+	sadMB(cur, ref, 0, 0, MV{}, 1<<62, &st)
+	if st.sadExits != 0 {
+		t.Fatalf("full SAD counted %d early exits", st.sadExits)
+	}
+	sadMB(cur, ref, 0, 0, MV{}, 1, &st)
+	if st.sadExits != 1 {
+		t.Fatalf("budget-1 SAD counted %d early exits, want 1", st.sadExits)
+	}
+}

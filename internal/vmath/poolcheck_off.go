@@ -12,6 +12,13 @@ type poolChecker struct{}
 func (poolChecker) onGet(*Plane) {}
 func (poolChecker) onPut(*Plane) {}
 
+// bytePoolChecker is the BytePlane counterpart of poolChecker; same
+// build-tag contract.
+type bytePoolChecker struct{}
+
+func (bytePoolChecker) onGet(*BytePlane) {}
+func (bytePoolChecker) onPut(*BytePlane) {}
+
 // PoolCheckEnabled reports whether this binary was built with -tags
 // poolcheck (buffer-lifetime debugging).
 const PoolCheckEnabled = false

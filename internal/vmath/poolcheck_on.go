@@ -53,6 +53,39 @@ func (c *poolChecker) onGet(pl *Plane) {
 	c.mu.Unlock()
 }
 
+// bytePoolChecker is the BytePlane counterpart of poolChecker: double-Put
+// panics, and freed shadows are poisoned with 0xAA and truncated to 0×0 so
+// use-after-put shows up as corrupt SADs or index panics.
+type bytePoolChecker struct {
+	mu   sync.Mutex
+	free map[*BytePlane]struct{}
+}
+
+func (c *bytePoolChecker) onPut(pl *BytePlane) {
+	c.mu.Lock()
+	if c.free == nil {
+		c.free = make(map[*BytePlane]struct{})
+	}
+	if _, dup := c.free[pl]; dup {
+		c.mu.Unlock()
+		panic(fmt.Sprintf("vmath: byte pool double-Put of %dx%d plane", pl.W, pl.H))
+	}
+	c.free[pl] = struct{}{}
+	c.mu.Unlock()
+	full := pl.Pix[:cap(pl.Pix)]
+	for i := range full {
+		full[i] = 0xAA
+	}
+	pl.W, pl.H = 0, 0
+	pl.Pix = full[:0]
+}
+
+func (c *bytePoolChecker) onGet(pl *BytePlane) {
+	c.mu.Lock()
+	delete(c.free, pl)
+	c.mu.Unlock()
+}
+
 // PoolCheckEnabled reports whether this binary was built with -tags
 // poolcheck (buffer-lifetime debugging).
 const PoolCheckEnabled = true

@@ -46,3 +46,35 @@ func TestPoolCheckPoisonsFreedPlane(t *testing.T) {
 	}
 	p.Put(q)
 }
+
+func TestBytePoolCheckDoublePutPanics(t *testing.T) {
+	var p BytePool
+	pl := p.Get(16, 16)
+	p.Put(pl)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Put of the same byte plane did not panic")
+		}
+	}()
+	p.Put(pl)
+}
+
+func TestBytePoolCheckPoisonsFreedPlane(t *testing.T) {
+	var p BytePool
+	pl := p.Get(16, 16)
+	pix := pl.Pix
+	p.Put(pl)
+	if pl.W != 0 || pl.H != 0 || len(pl.Pix) != 0 {
+		t.Fatalf("freed byte plane still has geometry %dx%d len %d", pl.W, pl.H, len(pl.Pix))
+	}
+	// Freed shadows are 0xAA-poisoned so a stale alias produces wildly
+	// wrong SADs instead of plausible ones.
+	if pix[0] != 0xAA {
+		t.Fatalf("freed bytes not poisoned: %#x", pix[0])
+	}
+	q := p.Get(16, 16)
+	if q.W != 16 || len(q.Pix) != 256 {
+		t.Fatal("reused byte plane unusable after poisoning")
+	}
+	p.Put(q)
+}
