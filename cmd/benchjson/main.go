@@ -3,9 +3,17 @@
 // B/op and allocs/op per benchmark — machine-readably next to the raw
 // bench.txt (see the bench-smoke job in .github/workflows/ci.yml).
 //
+// With -baseline it additionally acts as the regression gate: the parsed
+// run is diffed against a committed BENCH_*.json baseline and the process
+// exits 1 when any gated benchmark's ns/op regressed by more than
+// -max-regress (or disappeared from the run), so the codec-core speedups
+// cannot silently erode.
+//
 // Usage:
 //
 //	go test -bench=. -benchmem ./... | go run ./cmd/benchjson -out BENCH_bench.json
+//	go run ./cmd/benchjson -in bench_codec.txt -baseline BENCH_codec.json \
+//	    -max-regress 0.25 -match 'Benchmark(FDCT8|SADMB|MotionSearchPredictive|EncodeFrame)$'
 package main
 
 import (
@@ -15,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -40,7 +49,10 @@ type output struct {
 
 func main() {
 	in := flag.String("in", "-", "bench output to read (- for stdin)")
-	out := flag.String("out", "-", "JSON file to write (- for stdout)")
+	out := flag.String("out", "", "JSON file to write (- for stdout; default stdout unless -baseline is set)")
+	baseline := flag.String("baseline", "", "committed BENCH_*.json to gate the run against")
+	maxRegress := flag.Float64("max-regress", 0.25, "allowed fractional ns/op regression vs the baseline (with -baseline)")
+	match := flag.String("match", "", "regexp over benchmark names selecting which baseline entries are gated (with -baseline; empty = all)")
 	flag.Parse()
 
 	var r io.Reader = os.Stdin
@@ -56,18 +68,101 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	data, err := json.MarshalIndent(res, "", "  ")
+
+	if *out != "" || *baseline == "" {
+		dst := *out
+		if dst == "" {
+			dst = "-"
+		}
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		data = append(data, '\n')
+		if dst == "-" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(dst, data, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *baseline != "" {
+		base, err := loadBaseline(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		var re *regexp.Regexp
+		if *match != "" {
+			if re, err = regexp.Compile(*match); err != nil {
+				fatal(err)
+			}
+		}
+		failures, report := compare(base, res, re, *maxRegress)
+		fmt.Fprint(os.Stderr, report)
+		if failures > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed beyond %.0f%% of %s\n",
+				failures, *maxRegress*100, *baseline)
+			os.Exit(1)
+		}
+	}
+}
+
+// loadBaseline reads a committed BENCH_*.json artifact.
+func loadBaseline(path string) (*output, error) {
+	data, err := os.ReadFile(path)
 	if err != nil {
-		fatal(err)
+		return nil, err
 	}
-	data = append(data, '\n')
-	if *out == "-" {
-		os.Stdout.Write(data)
-		return
+	var base output
+	if err := json.Unmarshal(data, &base); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fatal(err)
+	return &base, nil
+}
+
+// benchKey identifies a benchmark across runs: packages can share
+// benchmark names, and -cpu variants are distinct series.
+type benchKey struct {
+	pkg  string
+	name string
+	cpus int
+}
+
+// compare gates the current run against the baseline: every baseline
+// benchmark selected by re must be present and within (1+maxRegress)× of
+// its baseline ns/op. A missing benchmark counts as a failure — a gate
+// that silently stops measuring is not a gate. Returns the failure count
+// and a human-readable table.
+func compare(base, cur *output, re *regexp.Regexp, maxRegress float64) (failures int, report string) {
+	current := make(map[benchKey]Benchmark, len(cur.Benchmarks))
+	for _, b := range cur.Benchmarks {
+		current[benchKey{b.Pkg, b.Name, b.CPUs}] = b
 	}
+	var sb strings.Builder
+	for _, b := range base.Benchmarks {
+		if re != nil && !re.MatchString(b.Name) {
+			continue
+		}
+		key := benchKey{b.Pkg, b.Name, b.CPUs}
+		got, ok := current[key]
+		if !ok {
+			failures++
+			fmt.Fprintf(&sb, "MISSING %s %s (cpus=%d): in baseline, not in this run\n", b.Pkg, b.Name, b.CPUs)
+			continue
+		}
+		if b.NsPerOp <= 0 {
+			continue // degenerate baseline entry; nothing to gate on
+		}
+		ratio := got.NsPerOp / b.NsPerOp
+		verdict := "ok"
+		if ratio > 1+maxRegress {
+			failures++
+			verdict = "REGRESSED"
+		}
+		fmt.Fprintf(&sb, "%-9s %s (cpus=%d): %.1f ns/op vs baseline %.1f (%+.1f%%)\n",
+			verdict, b.Name, b.CPUs, got.NsPerOp, b.NsPerOp, (ratio-1)*100)
+	}
+	return failures, sb.String()
 }
 
 func fatal(err error) {

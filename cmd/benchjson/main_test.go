@@ -1,6 +1,7 @@
 package main
 
 import (
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -43,6 +44,63 @@ func TestParse(t *testing.T) {
 	if b := res.Benchmarks[2]; b.BytesPerOp != -1 || b.AllocsPerOp != -1 ||
 		b.Pkg != "nerve/internal/sr" || b.NsPerOp != 22334455 {
 		t.Fatalf("sr bench parsed wrong: %+v", b)
+	}
+}
+
+func bench(pkg, name string, cpus int, ns float64) Benchmark {
+	return Benchmark{Pkg: pkg, Name: name, CPUs: cpus, Iterations: 100,
+		NsPerOp: ns, BytesPerOp: -1, AllocsPerOp: -1}
+}
+
+func TestCompareGate(t *testing.T) {
+	base := &output{Benchmarks: []Benchmark{
+		bench("p", "BenchmarkFDCT8", 1, 100),
+		bench("p", "BenchmarkSADMB", 1, 1000),
+		bench("p", "BenchmarkHelper", 1, 50), // not gated by the regexp
+	}}
+	gate := regexp.MustCompile(`Benchmark(FDCT8|SADMB)$`)
+
+	// Within budget: 20% slower on one, faster on the other.
+	cur := &output{Benchmarks: []Benchmark{
+		bench("p", "BenchmarkFDCT8", 1, 120),
+		bench("p", "BenchmarkSADMB", 1, 900),
+	}}
+	if n, rep := compare(base, cur, gate, 0.25); n != 0 {
+		t.Fatalf("within-budget run failed gate (%d):\n%s", n, rep)
+	}
+
+	// Over budget on one benchmark.
+	cur.Benchmarks[0] = bench("p", "BenchmarkFDCT8", 1, 130)
+	n, rep := compare(base, cur, gate, 0.25)
+	if n != 1 || !strings.Contains(rep, "REGRESSED") {
+		t.Fatalf("30%% regression not caught (%d):\n%s", n, rep)
+	}
+
+	// A gated benchmark vanishing from the run is a failure too.
+	cur.Benchmarks = cur.Benchmarks[1:]
+	if n, rep := compare(base, cur, gate, 0.5); n != 1 || !strings.Contains(rep, "MISSING") {
+		t.Fatalf("missing benchmark not caught (%d):\n%s", n, rep)
+	}
+
+	// Ungated helper may vanish or regress freely; nil regexp gates all.
+	if n, _ := compare(base, cur, nil, 0.5); n != 2 {
+		t.Fatalf("nil regexp should gate every baseline entry, got %d failures", n)
+	}
+}
+
+func TestCompareKeysOnPkgAndCPUs(t *testing.T) {
+	base := &output{Benchmarks: []Benchmark{
+		bench("a", "BenchmarkX", 1, 100),
+		bench("b", "BenchmarkX", 1, 100),
+		bench("a", "BenchmarkX", 4, 100),
+	}}
+	// Same names, but pkg b's entry regressed and the -cpu 4 series is gone.
+	cur := &output{Benchmarks: []Benchmark{
+		bench("a", "BenchmarkX", 1, 100),
+		bench("b", "BenchmarkX", 1, 300),
+	}}
+	if n, rep := compare(base, cur, nil, 0.25); n != 2 {
+		t.Fatalf("want 2 failures (pkg-b regression + missing cpu-4 series), got %d:\n%s", n, rep)
 	}
 }
 

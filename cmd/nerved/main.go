@@ -23,6 +23,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -39,6 +41,10 @@ func main() {
 		play      = flag.String("play", "", "base URL of a nerved server to stream from")
 		lose      = flag.Int("lose", -1, "chunk index whose media path is lost (client mode)")
 		chunks    = flag.Int("chunks", 4, "stream length in chunks (server mode)")
+		width     = flag.Int("width", 320, "transmission width (server mode)")
+		height    = flag.Int("height", 180, "transmission height (server mode)")
+		chunkSec  = flag.Float64("chunk-seconds", 0, "segment duration in seconds (server mode; 0 = package default)")
+		rates     = flag.String("rates", "", "bitrate ladder in kbps, comma-separated (server mode; empty = package ladder)")
 		category  = flag.String("category", "GamePlay", "content category (server mode)")
 		seed      = flag.Int64("seed", 1, "content seed")
 		noRC      = flag.Bool("no-recovery", false, "disable the recovery model (client mode)")
@@ -61,7 +67,19 @@ func main() {
 
 	switch {
 	case *listen != "":
-		if err := serve(*listen, *category, *seed, *chunks); err != nil {
+		shape := httpstream.ServerConfig{
+			W: *width, H: *height,
+			Chunks:       *chunks,
+			ChunkSeconds: *chunkSec,
+		}
+		if *rates != "" {
+			var err error
+			if shape.Rates, err = parseRates(*rates); err != nil {
+				fmt.Fprintln(os.Stderr, "nerved:", err)
+				os.Exit(2)
+			}
+		}
+		if err := serve(*listen, *category, *seed, shape); err != nil {
 			fmt.Fprintln(os.Stderr, "nerved:", err)
 			os.Exit(1)
 		}
@@ -76,17 +94,28 @@ func main() {
 	}
 }
 
+// parseRates parses a comma-separated kbps ladder, e.g. "200,600,1200".
+func parseRates(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		kbps, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || kbps <= 0 {
+			return nil, fmt.Errorf("bad rate %q in -rates", part)
+		}
+		out = append(out, kbps)
+	}
+	return out, nil
+}
+
 // serve runs the media server until SIGINT/SIGTERM, then drains in-flight
 // requests before exiting.
-func serve(listen, category string, seed int64, chunks int) error {
+func serve(listen, category string, seed int64, shape httpstream.ServerConfig) error {
 	cat, err := video.CategoryByName(category)
 	if err != nil {
 		return err
 	}
-	handler, err := httpstream.NewServer(httpstream.ServerConfig{
-		W: 320, H: 180, Chunks: chunks,
-		Source: video.NewGenerator(cat, seed),
-	})
+	shape.Source = video.NewGenerator(cat, seed)
+	handler, err := httpstream.NewServer(shape)
 	if err != nil {
 		return err
 	}

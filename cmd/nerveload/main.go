@@ -1,0 +1,178 @@
+// Command nerveload is the load harness that proves the serving story at
+// scale: thousands of goroutine-cheap simulated clients, each behind a
+// seeded fault-injecting network drawn from the faultnet profile matrix
+// (clean / lossy / hilat / bursty), streaming from one nerved origin. It
+// reports p50/p95/p99 segment-fetch latency, rebuffer ratio,
+// degraded/failed-chunk rates and aggregate QoE, writes the
+// machine-readable BENCH_load.json artifact, and — run as a gate — fails
+// the process when the p99 SLO is exceeded or a warmed origin allocates
+// planes in steady state.
+//
+// Usage:
+//
+//	nerveload -url http://origin:8080 -clients 1000 -duration 60s
+//	nerveload -selfserve -clients 500 -duration 30s \
+//	    -slo-p99-ms 1500 -require-zero-allocs -out BENCH_load.json
+//
+// Exit status: 0 on success, 1 when a gate (-slo-p99-ms,
+// -require-zero-allocs, client errors) fails, 2 on usage or runtime
+// errors.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"nerve/internal/httpstream"
+	"nerve/internal/loadgen"
+	"nerve/internal/video"
+)
+
+func main() {
+	var (
+		url       = flag.String("url", "", "base URL of an external nerved origin")
+		selfserve = flag.Bool("selfserve", false, "run the origin in-process on a loopback listener (enables the plane-alloc measurement)")
+
+		clients  = flag.Int("clients", 500, "concurrent simulated clients")
+		chunks   = flag.Int("chunks-per-client", 0, "fixed chunks per client (0 = run for -duration)")
+		duration = flag.Duration("duration", 30*time.Second, "run length when -chunks-per-client is 0")
+		profiles = flag.String("profiles", "clean:1,lossy:1,hilat:1,bursty:1", "weighted network profile mix (name:weight,...)")
+		seed     = flag.Int64("seed", 1, "run seed; every per-client fault/jitter seed derives from it")
+		rate     = flag.Int("rate", -1, "fixed ladder rung for every request (-1 = adaptive per client)")
+		decode   = flag.Bool("decode", false, "run the full playback engine per client (expensive; small fleets)")
+		recovery = flag.Bool("recovery", false, "enable the recovery model (with -decode)")
+		retries  = flag.Int("retries", 3, "fetch attempts per request")
+		timeout  = flag.Duration("timeout", 15*time.Second, "per-request timeout")
+
+		w         = flag.Int("width", 160, "self-serve transmission width")
+		h         = flag.Int("height", 96, "self-serve transmission height")
+		nchunks   = flag.Int("chunks", 4, "self-serve stream length in chunks")
+		chunkSec  = flag.Float64("chunk-seconds", 0.5, "self-serve segment duration")
+		rates     = flag.String("rates", "", "self-serve bitrate ladder in kbps, comma-separated (default package ladder)")
+		category  = flag.String("category", "GamePlay", "self-serve content category")
+		contSeed  = flag.Int64("content-seed", 1, "self-serve content seed")
+		out       = flag.String("out", "", "write BENCH_load.json-style report here")
+		perClient = flag.Bool("per-client", false, "include per-client stats in the report")
+
+		sloP99     = flag.Float64("slo-p99-ms", 0, "fail (exit 1) when p99 segment-fetch latency exceeds this many ms (0 = no gate)")
+		zeroAllocs = flag.Bool("require-zero-allocs", false, "fail (exit 1) when the warmed origin allocates any plane in steady state (needs -selfserve, not -decode)")
+		maxErrors  = flag.Int64("max-client-errors", 0, "fail (exit 1) when more clients than this die on errors (-1 = no gate)")
+	)
+	flag.Parse()
+
+	cfg := loadgen.Config{
+		BaseURL:         *url,
+		Clients:         *clients,
+		ChunksPerClient: *chunks,
+		Seed:            *seed,
+		FixedRate:       *rate,
+		Decode:          *decode,
+		Recovery:        *recovery,
+		PerClient:       *perClient,
+		RetryPolicy: httpstream.RetryPolicy{
+			MaxAttempts:    *retries,
+			RequestTimeout: *timeout,
+		},
+	}
+	if *chunks == 0 {
+		cfg.Duration = *duration
+	}
+
+	mix, err := loadgen.ParseMix(*profiles)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.Mix = mix
+
+	if *selfserve {
+		if *url != "" {
+			fatal(fmt.Errorf("-selfserve and -url are mutually exclusive"))
+		}
+		cat, err := video.CategoryByName(*category)
+		if err != nil {
+			fatal(err)
+		}
+		srv := &httpstream.ServerConfig{
+			W: *w, H: *h,
+			ChunkSeconds: *chunkSec,
+			Chunks:       *nchunks,
+			Source:       video.NewGenerator(cat, *contSeed),
+		}
+		if *rates != "" {
+			if srv.Rates, err = parseRates(*rates); err != nil {
+				fatal(err)
+			}
+		}
+		cfg.Server = srv
+	}
+	if *zeroAllocs && (!*selfserve || *decode) {
+		fatal(fmt.Errorf("-require-zero-allocs needs -selfserve without -decode (the plane counter is process-wide)"))
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	rep, err := loadgen.Run(ctx, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	rep.Summary(os.Stdout)
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("nerveload: report written to %s\n", *out)
+	}
+
+	failed := false
+	if *sloP99 > 0 && rep.Fetch.P99Ms > *sloP99 {
+		fmt.Fprintf(os.Stderr, "nerveload: SLO VIOLATION: p99 segment fetch %.1f ms > budget %.1f ms\n", rep.Fetch.P99Ms, *sloP99)
+		failed = true
+	}
+	if *sloP99 > 0 && rep.Fetch.Count == 0 {
+		fmt.Fprintln(os.Stderr, "nerveload: SLO VIOLATION: no successful segment fetches to judge the SLO on")
+		failed = true
+	}
+	if *zeroAllocs && rep.ServerPlaneAllocs != 0 {
+		fmt.Fprintf(os.Stderr, "nerveload: STEADY-STATE VIOLATION: warmed origin allocated %d plane backing arrays under load, want 0\n", rep.ServerPlaneAllocs)
+		failed = true
+	}
+	if *maxErrors >= 0 && rep.ErrorCount > *maxErrors {
+		fmt.Fprintf(os.Stderr, "nerveload: %d clients died on errors (budget %d); first: %+v\n", rep.ErrorCount, *maxErrors, rep.Errors)
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func parseRates(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		kbps, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || kbps <= 0 {
+			return nil, fmt.Errorf("bad rate %q in -rates", part)
+		}
+		out = append(out, kbps)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nerveload:", err)
+	os.Exit(2)
+}

@@ -58,6 +58,17 @@ type Config struct {
 	Latency time.Duration
 	// LatencyJitter adds a uniform random extra delay in [0, LatencyJitter).
 	LatencyJitter time.Duration
+	// BurstCycle, when positive, gates the probabilistic fault rates into
+	// on/off windows measured in requests: of every BurstCycle consecutive
+	// requests through the transport, only the first BurstOn see the
+	// configured fault rates; the rest pass clean (latency still applies).
+	// This models bursty loss — short stretches where most requests fail,
+	// separated by healthy stretches — rather than memoryless loss.
+	BurstCycle int
+	// BurstOn is the length of the faulty window at the start of each
+	// cycle (clamped to BurstCycle; 0 with a positive BurstCycle means the
+	// rates never apply).
+	BurstOn int
 }
 
 // Transport is the fault-injecting http.RoundTripper. It is safe for
@@ -70,6 +81,7 @@ type Transport struct {
 	rng   *rand.Rand
 	cfg   Config
 	rules []*Rule
+	reqs  int64 // requests seen, drives the burst cycle position
 
 	// Counters (atomic) of injected faults and untouched requests.
 	Resets       atomic.Int64
@@ -116,6 +128,8 @@ type fault struct {
 func (t *Transport) decide(req *http.Request) fault {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	pos := t.reqs
+	t.reqs++
 	f := fault{truncate: -1}
 	for _, r := range t.rules {
 		if r.Match != nil && !r.Match(req) {
@@ -136,6 +150,12 @@ func (t *Transport) decide(req *http.Request) fault {
 	f.latency = t.cfg.Latency
 	if t.cfg.LatencyJitter > 0 {
 		f.latency += time.Duration(t.rng.Int63n(int64(t.cfg.LatencyJitter)))
+	}
+	if t.cfg.BurstCycle > 0 && pos%int64(t.cfg.BurstCycle) >= int64(t.cfg.BurstOn) {
+		// Outside the burst window: no fault-rate draws, so the RNG stream
+		// (and with it the whole fault schedule) stays a pure function of
+		// the seed and the request count.
+		return f
 	}
 	switch {
 	case t.cfg.ResetRate > 0 && t.rng.Float64() < t.cfg.ResetRate:

@@ -397,6 +397,27 @@ func WithRetryPolicy(p RetryPolicy) ClientOption {
 // NewClient fetches the manifest and prepares the engine. enableRecovery
 // wires the recovery model for lost segments.
 func NewClient(baseURL string, httpClient *http.Client, enableRecovery bool, opts ...ClientOption) (*Client, error) {
+	c, err := NewFetchClient(baseURL, httpClient, opts...)
+	if err != nil {
+		return nil, err
+	}
+	c.engine, err = core.NewClient(core.ClientConfig{
+		W: c.manifest.Width, H: c.manifest.Height,
+		EnableRecovery: enableRecovery,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// NewFetchClient builds a client without the playback engine: it fetches
+// the manifest and can drive the whole network path (FetchChunk — codes
+// plus segment, retry/backoff, degradation accounting) but cannot decode.
+// Load harnesses use it to keep thousands of concurrent clients
+// goroutine-cheap: no per-client planes, pools or models, just sockets.
+// PlayChunk and PlayAll on a fetch-only client return an error.
+func NewFetchClient(baseURL string, httpClient *http.Client, opts ...ClientOption) (*Client, error) {
 	if httpClient == nil {
 		httpClient = http.DefaultClient
 	}
@@ -416,13 +437,6 @@ func NewClient(baseURL string, httpClient *http.Client, enableRecovery bool, opt
 	}
 	if err := json.Unmarshal(raw, &c.manifest); err != nil {
 		return nil, fmt.Errorf("httpstream: manifest: %w", err)
-	}
-	c.engine, err = core.NewClient(core.ClientConfig{
-		W: c.manifest.Width, H: c.manifest.Height,
-		EnableRecovery: enableRecovery,
-	})
-	if err != nil {
-		return nil, err
 	}
 	return c, nil
 }
@@ -501,6 +515,9 @@ func (c *Client) fetch(path string) ([]byte, error) {
 // the chunk degrades to codes-only recovery (Degraded is set) instead of
 // failing.
 func (c *Client) PlayChunk(n, rate int, lost bool) (*ChunkResult, error) {
+	if c.engine == nil {
+		return nil, errors.New("httpstream: PlayChunk on a fetch-only client (use NewClient for playback)")
+	}
 	codesRaw, err := c.fetch(fmt.Sprintf("/codes?n=%d", n))
 	if err != nil {
 		return nil, err
@@ -536,6 +553,29 @@ func (c *Client) PlayChunk(n, rate int, lost bool) (*ChunkResult, error) {
 		}
 		res.Frames = append(res.Frames, fr.Frame)
 		res.Classes = append(res.Classes, fr.Class)
+	}
+	return res, nil
+}
+
+// FetchChunk downloads chunk n at the given rate exactly like PlayChunk —
+// codes first (the reliable side channel, hard failure), then the segment
+// under the full retry/degradation policy, then wire-format validation —
+// but stops short of decode, recovery and enhancement. The returned
+// result carries the fetch stats (Bytes, FetchSeconds, Degraded) with no
+// frames. This is the network path a load harness drives per simulated
+// client; it works on both playback and fetch-only clients.
+func (c *Client) FetchChunk(n, rate int) (*ChunkResult, error) {
+	codesRaw, err := c.fetch(fmt.Sprintf("/codes?n=%d", n))
+	if err != nil {
+		return nil, err
+	}
+	codeRecs, err := splitLengthPrefixed(codesRaw)
+	if err != nil {
+		return nil, err
+	}
+	res := &ChunkResult{Chunk: n, Rate: rate}
+	if _, err := c.fetchSegment(n, rate, len(codeRecs), res); err != nil {
+		return nil, err
 	}
 	return res, nil
 }

@@ -1,0 +1,246 @@
+package loadgen
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"nerve/internal/faultnet"
+	"nerve/internal/httpstream"
+	"nerve/internal/video"
+)
+
+// tinyServer is a small self-serve origin: cheap to warm, two rungs,
+// real content.
+func tinyServer() *httpstream.ServerConfig {
+	return &httpstream.ServerConfig{
+		W: 96, H: 64, ChunkSeconds: 0.5, Chunks: 2,
+		Rates:  []int{200, 600},
+		Source: video.NewGenerator(video.Categories()[2], 7),
+	}
+}
+
+// fastPolicy keeps retry wall time negligible while preserving the retry
+// structure.
+func fastPolicy() httpstream.RetryPolicy {
+	return httpstream.RetryPolicy{
+		MaxAttempts:    3,
+		BaseBackoff:    50 * time.Microsecond,
+		MaxBackoff:     500 * time.Microsecond,
+		RequestTimeout: 10 * time.Second,
+	}
+}
+
+// TestSoakSmall is the harness acceptance in miniature: a mixed-profile
+// fleet against a warmed in-process origin; every client finishes its
+// chunks, the latency summary is populated, the QoE/rebuffer accounting
+// stays in range, the singleflight bound holds, and — the steady-state
+// proof — the warmed origin allocates zero planes under concurrent load.
+func TestSoakSmall(t *testing.T) {
+	mix, err := ParseMix("clean:1,lossy:1,hilat:1,bursty:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const clients, chunks = 24, 4
+	rep, err := Run(context.Background(), Config{
+		Server:          tinyServer(),
+		Clients:         clients,
+		ChunksPerClient: chunks,
+		Mix:             mix,
+		Seed:            1,
+		FixedRate:       -1, // adaptive
+		RetryPolicy:     fastPolicy(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ErrorCount != 0 {
+		t.Fatalf("client errors: %+v", rep.Errors)
+	}
+	if got := rep.Chunks + rep.Failed; got != clients*chunks {
+		t.Fatalf("accounted %d chunks, want %d", got, clients*chunks)
+	}
+	if rep.Fetch.Count == 0 || rep.Fetch.P50Ms <= 0 {
+		t.Fatalf("empty fetch summary: %+v", rep.Fetch)
+	}
+	if !(rep.Fetch.P50Ms <= rep.Fetch.P95Ms && rep.Fetch.P95Ms <= rep.Fetch.P99Ms) {
+		t.Fatalf("percentiles not monotone: %+v", rep.Fetch)
+	}
+	if rep.RebufferRatio < 0 || rep.RebufferRatio > 1 {
+		t.Fatalf("rebuffer ratio %v out of range", rep.RebufferRatio)
+	}
+	if rep.ServerPlaneAllocs != 0 {
+		t.Fatalf("warmed origin allocated %d planes under load, want 0", rep.ServerPlaneAllocs)
+	}
+	if maxEnc := int64(2 * 2); rep.ServerEncodes > maxEnc {
+		t.Fatalf("%d encodes for %d (rate,chunk) pairs — singleflight failed under load", rep.ServerEncodes, maxEnc)
+	}
+	if len(rep.Profiles) != 4 {
+		t.Fatalf("%d profile blocks, want 4", len(rep.Profiles))
+	}
+	for _, p := range rep.Profiles {
+		if p.Clients != clients/4 {
+			t.Fatalf("profile %s got %d clients, want %d", p.Profile, p.Clients, clients/4)
+		}
+	}
+	// The high-latency profile must actually show up in the tail it is
+	// designed to stress.
+	var clean, hilat ProfileStats
+	for _, p := range rep.Profiles {
+		switch p.Profile {
+		case "clean":
+			clean = p
+		case "hilat":
+			hilat = p
+		}
+	}
+	if hilat.Fetch.P50Ms <= clean.Fetch.P50Ms {
+		t.Fatalf("hilat p50 %.2f ms not above clean p50 %.2f ms", hilat.Fetch.P50Ms, clean.Fetch.P50Ms)
+	}
+}
+
+// clientOutcome is the deterministic slice of a client's stats: wall
+// clock excluded, fault-driven outcomes kept.
+type clientOutcome struct {
+	Profile                          string
+	Chunks, Degraded, Failed, Errors int64
+	Bytes                            int64
+}
+
+func outcomes(rep *Report) []clientOutcome {
+	out := make([]clientOutcome, len(rep.PerClient))
+	for i, c := range rep.PerClient {
+		out[i] = clientOutcome{c.Profile, c.Chunks, c.Degraded, c.Failed, c.Errors, c.Bytes}
+	}
+	return out
+}
+
+// TestSoakDeterministicOutcomes: with a fixed rate (removing the
+// wall-clock-dependent ABR input) the per-client chunk outcomes are a
+// pure function of the run seed — same seed twice, identical; different
+// seed, different.
+func TestSoakDeterministicOutcomes(t *testing.T) {
+	mix, err := ParseMix("lossy:1,bursty:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(seed int64) *Report {
+		rep, err := Run(context.Background(), Config{
+			Server:          tinyServer(),
+			Clients:         10,
+			ChunksPerClient: 6,
+			Mix:             mix,
+			Seed:            seed,
+			FixedRate:       0,
+			RetryPolicy:     fastPolicy(),
+			PerClient:       true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b, c := run(7), run(7), run(8)
+	if !reflect.DeepEqual(outcomes(a), outcomes(b)) {
+		t.Fatalf("same seed diverged:\n a=%+v\n b=%+v", outcomes(a), outcomes(b))
+	}
+	if a.Degraded+a.Failed == 0 {
+		t.Fatal("fault profiles produced no degradations; determinism check is vacuous")
+	}
+	if reflect.DeepEqual(outcomes(a), outcomes(c)) {
+		t.Fatal("different seeds produced identical outcomes")
+	}
+}
+
+// TestSoakDurationMode: a time-boxed run terminates on schedule with
+// paced clients still making progress.
+func TestSoakDurationMode(t *testing.T) {
+	rep, err := Run(context.Background(), Config{
+		Server:      tinyServer(),
+		Clients:     8,
+		Duration:    400 * time.Millisecond,
+		Mix:         DefaultMix(),
+		Seed:        3,
+		FixedRate:   0,
+		RetryPolicy: fastPolicy(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Chunks == 0 {
+		t.Fatal("no chunks played in duration mode")
+	}
+	if rep.DurationSec > 5 {
+		t.Fatalf("run took %.1fs for a 0.4s duration", rep.DurationSec)
+	}
+}
+
+// TestSoakDecodeMode drives a handful of clients through the full
+// playback engine to keep the expensive path wired.
+func TestSoakDecodeMode(t *testing.T) {
+	rep, err := Run(context.Background(), Config{
+		Server:          tinyServer(),
+		Clients:         3,
+		ChunksPerClient: 2,
+		Mix:             []Share{{Profile: mustProfile(t, "clean"), Weight: 1}},
+		Seed:            2,
+		FixedRate:       0,
+		Decode:          true,
+		Recovery:        true,
+		RetryPolicy:     fastPolicy(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ErrorCount != 0 {
+		t.Fatalf("decode-mode client errors: %+v", rep.Errors)
+	}
+	if rep.Chunks != 6 {
+		t.Fatalf("played %d chunks, want 6", rep.Chunks)
+	}
+	if rep.ServerPlaneAllocs != -1 {
+		t.Fatalf("decode mode must not claim a server alloc measurement, got %d", rep.ServerPlaneAllocs)
+	}
+}
+
+func mustProfile(t *testing.T, name string) faultnet.Profile {
+	t.Helper()
+	p, err := faultnet.ProfileByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{},                                 // no target
+		{Server: tinyServer()},             // no clients
+		{Server: tinyServer(), Clients: 1}, // no workload
+		{Server: tinyServer(), Clients: 1, ChunksPerClient: 1, Recovery: true}, // recovery without decode
+	}
+	for i, cfg := range bad {
+		if _, err := Run(context.Background(), cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	shares, err := ParseMix("clean:2, lossy ,bursty:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shares) != 3 || shares[0].Weight != 2 || shares[1].Weight != 1 {
+		t.Fatalf("parsed %+v", shares)
+	}
+	for _, s := range []string{"", "clean:0", "clean:x", "unknown"} {
+		if _, err := ParseMix(s); err == nil {
+			t.Errorf("mix %q accepted", s)
+		}
+	}
+	if slots := mixSlots(shares); len(slots) != 4 || slots[0] != 0 || slots[1] != 0 || slots[2] != 1 || slots[3] != 2 {
+		t.Fatalf("slots %v", mixSlots(shares))
+	}
+}

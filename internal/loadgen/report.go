@@ -1,0 +1,170 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"nerve/internal/telemetry"
+)
+
+// ReportSchema versions the BENCH_load.json layout; bump it when a field
+// changes meaning so downstream analysis can dispatch.
+const ReportSchema = 1
+
+// ProfileStats is one network profile's share of a run.
+type ProfileStats struct {
+	Profile string `json:"profile"`
+	Clients int    `json:"clients"`
+	// Chunks counts chunks that played (including degraded ones); Failed
+	// counts chunks that could not play at all.
+	Chunks   int64 `json:"chunks"`
+	Degraded int64 `json:"degraded"`
+	Failed   int64 `json:"failed"`
+	// Fetch summarises successful (non-degraded) segment fetch latency.
+	Fetch telemetry.Summary `json:"fetch"`
+	// QoEMean is the §6 metric averaged over the profile's clients.
+	QoEMean float64 `json:"qoe_mean"`
+	// RebufferRatio is stall time over (stall + played) time.
+	RebufferRatio float64 `json:"rebuffer_ratio"`
+}
+
+// ClientStats is one simulated client's outcome (PerClient reports only).
+type ClientStats struct {
+	ID          int     `json:"id"`
+	Profile     string  `json:"profile"`
+	Chunks      int64   `json:"chunks"`
+	Degraded    int64   `json:"degraded"`
+	Failed      int64   `json:"failed"`
+	Errors      int64   `json:"errors"`
+	Bytes       int64   `json:"bytes"`
+	QoE         float64 `json:"qoe"`
+	RebufferSec float64 `json:"rebuffer_sec"`
+}
+
+// ClientError is one client-fatal failure kept for the report (the first
+// few; ErrorCount is exact).
+type ClientError struct {
+	Client  int    `json:"client"`
+	Profile string `json:"profile"`
+	Error   string `json:"error"`
+}
+
+// Report is the machine-readable result of a Run — the BENCH_load.json
+// schema (see OBSERVABILITY.md).
+type Report struct {
+	Schema  int    `json:"schema"`
+	Target  string `json:"target"`
+	Clients int    `json:"clients"`
+	Seed    int64  `json:"seed"`
+	// DurationSec is the measured load phase's wall clock (warm-up
+	// excluded).
+	DurationSec float64 `json:"duration_sec"`
+
+	Chunks       int64   `json:"chunks"`
+	Degraded     int64   `json:"degraded"`
+	Failed       int64   `json:"failed"`
+	DegradedRate float64 `json:"degraded_rate"`
+	FailedRate   float64 `json:"failed_rate"`
+
+	// Fetch is the run-wide successful segment-fetch latency summary —
+	// Fetch.P99Ms is the number the CI soak SLO gates on.
+	Fetch telemetry.Summary `json:"fetch"`
+
+	QoEMean       float64 `json:"qoe_mean"`
+	RebufferRatio float64 `json:"rebuffer_ratio"`
+
+	// ServerPlaneAllocs is the plane backing-array allocation count over
+	// the measured load phase — the steady-state proof; must be 0 for a
+	// warmed self-serve fetch-only run. -1 when not measurable (external
+	// server, or Decode mode sharing the counter with client pipelines).
+	ServerPlaneAllocs int64 `json:"server_plane_allocs"`
+	// ServerEncodes is the origin's total chunk encodes (self-serve
+	// only; -1 otherwise). Bounded by rates × chunks by the singleflight
+	// cache no matter the client count.
+	ServerEncodes int64 `json:"server_encodes"`
+
+	ErrorCount int64         `json:"error_count"`
+	Errors     []ClientError `json:"errors,omitempty"`
+
+	Profiles  []ProfileStats `json:"profiles"`
+	PerClient []ClientStats  `json:"per_client,omitempty"`
+}
+
+func (s *profileState) stats() ProfileStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ps := ProfileStats{
+		Profile:  s.name,
+		Clients:  s.clients,
+		Chunks:   s.chunks,
+		Degraded: s.degraded,
+		Failed:   s.failed,
+		Fetch:    s.fetch.Summary(),
+	}
+	if s.qoeN > 0 {
+		ps.QoEMean = s.qoeSum / float64(s.qoeN)
+	}
+	if tot := s.stallSec + s.playSec; tot > 0 {
+		ps.RebufferRatio = s.stallSec / tot
+	}
+	return ps
+}
+
+func (h *harness) report(elapsed time.Duration) *Report {
+	all := h.total.stats()
+	rep := &Report{
+		Schema:        ReportSchema,
+		Clients:       h.cfg.Clients,
+		Seed:          h.cfg.Seed,
+		DurationSec:   elapsed.Seconds(),
+		Chunks:        all.Chunks,
+		Degraded:      all.Degraded,
+		Failed:        all.Failed,
+		Fetch:         all.Fetch,
+		QoEMean:       all.QoEMean,
+		RebufferRatio: all.RebufferRatio,
+		ErrorCount:    h.errCount,
+		Errors:        h.errs,
+	}
+	if n := all.Chunks + all.Failed; n > 0 {
+		rep.DegradedRate = float64(all.Degraded) / float64(n)
+		rep.FailedRate = float64(all.Failed) / float64(n)
+	}
+	for _, ps := range h.profs {
+		rep.Profiles = append(rep.Profiles, ps.stats())
+	}
+	if h.cfg.PerClient {
+		sort.Slice(h.perClient, func(i, j int) bool { return h.perClient[i].ID < h.perClient[j].ID })
+		rep.PerClient = h.perClient
+	}
+	return rep
+}
+
+// WriteJSON writes the report as indented JSON — the exact content of a
+// BENCH_load.json artifact.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Summary renders the human-readable digest nerveload prints.
+func (r *Report) Summary(w io.Writer) {
+	fmt.Fprintf(w, "nerveload: %d clients vs %s for %.1fs (seed %d)\n",
+		r.Clients, r.Target, r.DurationSec, r.Seed)
+	fmt.Fprintf(w, "  chunks: %d played (%d degraded, %.2f%%), %d failed (%.2f%%), %d client errors\n",
+		r.Chunks, r.Degraded, 100*r.DegradedRate, r.Failed, 100*r.FailedRate, r.ErrorCount)
+	fmt.Fprintf(w, "  segment fetch: p50 %.1f ms, p95 %.1f ms, p99 %.1f ms, max %.1f ms (%d fetches)\n",
+		r.Fetch.P50Ms, r.Fetch.P95Ms, r.Fetch.P99Ms, r.Fetch.MaxMs, r.Fetch.Count)
+	fmt.Fprintf(w, "  QoE mean: %.3f, rebuffer ratio: %.4f\n", r.QoEMean, r.RebufferRatio)
+	if r.ServerEncodes >= 0 {
+		fmt.Fprintf(w, "  origin: %d encodes, %d plane allocs during load\n", r.ServerEncodes, r.ServerPlaneAllocs)
+	}
+	for _, p := range r.Profiles {
+		fmt.Fprintf(w, "  %-7s %4d clients: p99 %.1f ms, degraded %d, failed %d, QoE %.3f, rebuf %.4f\n",
+			p.Profile, p.Clients, p.Fetch.P99Ms, p.Degraded, p.Failed, p.QoEMean, p.RebufferRatio)
+	}
+}

@@ -119,12 +119,10 @@ func (h *Histogram) Max() time.Duration {
 	return time.Duration(m)
 }
 
-// Quantile returns the q-quantile (0 < q ≤ 1) of the recorded durations,
-// estimated as the midpoint of the bucket holding the target rank. An
-// empty histogram returns 0.
-func (h *Histogram) Quantile(q float64) time.Duration {
-	var merged [histBuckets]int64
-	var total int64
+// merge collapses the shards into one bucket array; total is the summed
+// count. Reading is atomic per bucket, not frozen — the usual
+// consistent-enough view for reporting.
+func (h *Histogram) merge() (merged [histBuckets]int64, total int64) {
 	for i := range h.shards {
 		for b := range merged {
 			if n := h.shards[i].buckets[b].Load(); n != 0 {
@@ -133,6 +131,11 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 			}
 		}
 	}
+	return
+}
+
+// quantileOf reads the q-quantile out of a merged bucket array.
+func quantileOf(merged *[histBuckets]int64, total int64, q float64) time.Duration {
 	if total == 0 {
 		return 0
 	}
@@ -155,6 +158,26 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 		}
 	}
 	return time.Duration(0) // unreachable
+}
+
+// Quantile returns the q-quantile (0 < q ≤ 1) of the recorded durations,
+// estimated as the midpoint of the bucket holding the target rank. An
+// empty histogram returns 0.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	merged, total := h.merge()
+	return quantileOf(&merged, total, q)
+}
+
+// Quantiles returns several quantiles in one pass over the buckets —
+// cheaper than repeated Quantile calls, and the quantiles are consistent
+// with each other (read from one merged view).
+func (h *Histogram) Quantiles(qs ...float64) []time.Duration {
+	merged, total := h.merge()
+	out := make([]time.Duration, len(qs))
+	for i, q := range qs {
+		out[i] = quantileOf(&merged, total, q)
+	}
+	return out
 }
 
 // reset zeroes the histogram. It is not atomic with respect to concurrent

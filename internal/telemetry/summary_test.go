@@ -1,0 +1,82 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestSummaryKnownSamples feeds a known sample set — 1..1000 ms, one
+// observation each — and checks the extracted p50/p95/p99 against the
+// exact ranks within the histogram's documented ≤12.5% relative bucket
+// error. Count, mean and max must be exact.
+func TestSummaryKnownSamples(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	s := h.Summary()
+	if s.Count != 1000 {
+		t.Fatalf("Count=%d want 1000", s.Count)
+	}
+	if s.MaxMs != 1000 {
+		t.Fatalf("MaxMs=%g want 1000", s.MaxMs)
+	}
+	if want := 500.5; math.Abs(s.MeanMs-want) > 0.001 {
+		t.Fatalf("MeanMs=%g want %g", s.MeanMs, want)
+	}
+	within := func(name string, got, want float64) {
+		t.Helper()
+		if math.Abs(got-want) > 0.125*want {
+			t.Errorf("%s=%g ms, want %g ±12.5%%", name, got, want)
+		}
+	}
+	within("P50Ms", s.P50Ms, 500)
+	within("P95Ms", s.P95Ms, 950)
+	within("P99Ms", s.P99Ms, 990)
+	if !(s.P50Ms <= s.P95Ms && s.P95Ms <= s.P99Ms && s.P99Ms <= s.MaxMs) {
+		t.Fatalf("percentiles not monotone: %+v", s)
+	}
+}
+
+// TestSummarySkewedSamples uses a bimodal set — a fast mode and a slow
+// tail — where the percentiles must split the modes.
+func TestSummarySkewedSamples(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 97; i++ {
+		h.Observe(2 * time.Millisecond)
+	}
+	for i := 0; i < 3; i++ {
+		h.Observe(400 * time.Millisecond)
+	}
+	s := h.Summary()
+	if s.P50Ms > 3 || s.P95Ms > 3 {
+		t.Fatalf("p50/p95 (%g/%g ms) should sit in the fast mode", s.P50Ms, s.P95Ms)
+	}
+	if s.P99Ms < 300 {
+		t.Fatalf("p99=%g ms should land in the slow tail", s.P99Ms)
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var h Histogram
+	if s := h.Summary(); s != (Summary{}) {
+		t.Fatalf("empty histogram summary %+v, want zero value", s)
+	}
+}
+
+// TestQuantilesMatchesQuantile: the multi-quantile read must agree with
+// the single-quantile API it batches.
+func TestQuantilesMatchesQuantile(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 300; i++ {
+		h.Observe(time.Duration(i*i) * time.Microsecond)
+	}
+	qs := []float64{0.10, 0.50, 0.95, 0.99, 1.0}
+	got := h.Quantiles(qs...)
+	for i, q := range qs {
+		if want := h.Quantile(q); got[i] != want {
+			t.Errorf("Quantiles[%g]=%v, Quantile=%v", q, got[i], want)
+		}
+	}
+}
