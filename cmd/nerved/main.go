@@ -13,7 +13,14 @@
 //
 //	nerved -listen :8080                          # serve
 //	nerved -listen :8080 -debug-addr :6060        # serve + debug endpoints
+//	nerved -listen :8080 -live                    # live sliding-window playlist
 //	nerved -play http://localhost:8080 -lose 2    # stream, losing chunk 2
+//
+// Cluster mode shards segment ownership across N nerved processes by
+// consistent hashing; every node must run with the same content flags:
+//
+//	nerved -listen :8081 -self http://h1:8081 -peers http://h1:8081,http://h2:8082
+//	nerved -listen :8082 -self http://h2:8082 -peers http://h1:8081,http://h2:8082
 package main
 
 import (
@@ -29,6 +36,7 @@ import (
 	"time"
 
 	"nerve"
+	"nerve/internal/cluster"
 	"nerve/internal/httpstream"
 	"nerve/internal/telemetry"
 	"nerve/internal/telemetry/teldebug"
@@ -47,6 +55,11 @@ func main() {
 		rates     = flag.String("rates", "", "bitrate ladder in kbps, comma-separated (server mode; empty = package ladder)")
 		category  = flag.String("category", "GamePlay", "content category (server mode)")
 		seed      = flag.Int64("seed", 1, "content seed")
+		cacheB    = flag.Int64("cache-bytes", 0, "segment/codes LRU cache byte budget (server mode; 0 = package default)")
+		live      = flag.Bool("live", false, "serve a live sliding-window playlist looping the source (server mode)")
+		liveWin   = flag.Int("live-window", 0, "live playlist window in segments (0 = package default)")
+		self      = flag.String("self", "", "this node's advertised base URL (cluster mode; must appear in -peers)")
+		peers     = flag.String("peers", "", "comma-separated base URLs of every cluster node including this one (cluster mode)")
 		noRC      = flag.Bool("no-recovery", false, "disable the recovery model (client mode)")
 		retries   = flag.Int("retries", 3, "fetch attempts per request (client mode)")
 		timeout   = flag.Duration("timeout", 15*time.Second, "per-request timeout (client mode)")
@@ -71,6 +84,9 @@ func main() {
 			W: *width, H: *height,
 			Chunks:       *chunks,
 			ChunkSeconds: *chunkSec,
+			CacheBytes:   *cacheB,
+			Live:         *live,
+			LiveWindow:   *liveWin,
 		}
 		if *rates != "" {
 			var err error
@@ -79,7 +95,7 @@ func main() {
 				os.Exit(2)
 			}
 		}
-		if err := serve(*listen, *category, *seed, shape); err != nil {
+		if err := serve(*listen, *category, *seed, *self, *peers, shape); err != nil {
 			fmt.Fprintln(os.Stderr, "nerved:", err)
 			os.Exit(1)
 		}
@@ -93,6 +109,12 @@ func main() {
 		os.Exit(2)
 	}
 }
+
+// clusterHandler adapts a cluster node to serve's handler interface: the
+// write-error tally lives on the node's local origin.
+type clusterHandler struct{ *cluster.Node }
+
+func (c clusterHandler) WriteErrors() int64 { return c.Origin().WriteErrors() }
 
 // parseRates parses a comma-separated kbps ladder, e.g. "200,600,1200".
 func parseRates(s string) ([]int, error) {
@@ -108,16 +130,45 @@ func parseRates(s string) ([]int, error) {
 }
 
 // serve runs the media server until SIGINT/SIGTERM, then drains in-flight
-// requests before exiting.
-func serve(listen, category string, seed int64, shape httpstream.ServerConfig) error {
+// requests before exiting. With -self/-peers the handler is a cluster
+// node: payload requests route to their consistent-hash owner, and every
+// configured nerved must share the same content flags so any node can
+// build any payload when an owner dies.
+func serve(listen, category string, seed int64, self, peers string, shape httpstream.ServerConfig) error {
 	cat, err := video.CategoryByName(category)
 	if err != nil {
 		return err
 	}
 	shape.Source = video.NewGenerator(cat, seed)
-	handler, err := httpstream.NewServer(shape)
-	if err != nil {
-		return err
+
+	var handler interface {
+		http.Handler
+		WriteErrors() int64
+	}
+	switch {
+	case self == "" && peers == "":
+		if handler, err = httpstream.NewServer(shape); err != nil {
+			return err
+		}
+	case self == "" || peers == "":
+		return fmt.Errorf("cluster mode needs both -self and -peers")
+	default:
+		var ring []string
+		for _, p := range strings.Split(peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				ring = append(ring, p)
+			}
+		}
+		node, err := cluster.NewNode(cluster.Config{
+			Self:   self,
+			Peers:  ring,
+			Origin: shape,
+		})
+		if err != nil {
+			return err
+		}
+		handler = clusterHandler{node}
+		fmt.Printf("nerved: cluster node %s over %d peers\n", self, len(ring))
 	}
 	srv := &http.Server{
 		Addr:    listen,

@@ -11,8 +11,11 @@
 // Usage:
 //
 //	nerveload -url http://origin:8080 -clients 1000 -duration 60s
+//	nerveload -url http://n1:8080,http://n2:8080,http://n3:8080 -clients 1000 -duration 60s
 //	nerveload -selfserve -clients 500 -duration 30s \
 //	    -slo-p99-ms 1500 -require-zero-allocs -out BENCH_load.json
+//	nerveload -selfserve -cluster 3 -clients 500 -duration 30s \
+//	    -min-hit-ratio 0.9 -out BENCH_load.json
 //
 // Exit status: 0 on success, 1 when a gate (-slo-p99-ms,
 // -require-zero-allocs, client errors) fails, 2 on usage or runtime
@@ -37,8 +40,9 @@ import (
 
 func main() {
 	var (
-		url       = flag.String("url", "", "base URL of an external nerved origin")
+		url       = flag.String("url", "", "base URL(s) of external nerved origins, comma-separated; client i's primary is URL i mod N, the rest its failover ring")
 		selfserve = flag.Bool("selfserve", false, "run the origin in-process on a loopback listener (enables the plane-alloc measurement)")
+		nodes     = flag.Int("cluster", 1, "with -selfserve, run this many cluster nodes instead of one flat origin")
 
 		clients  = flag.Int("clients", 500, "concurrent simulated clients")
 		chunks   = flag.Int("chunks-per-client", 0, "fixed chunks per client (0 = run for -duration)")
@@ -61,14 +65,16 @@ func main() {
 		out       = flag.String("out", "", "write BENCH_load.json-style report here")
 		perClient = flag.Bool("per-client", false, "include per-client stats in the report")
 
+		cacheBytes = flag.Int64("cache-bytes", 0, "self-serve origin segment-cache byte budget (0 = package default)")
+
 		sloP99     = flag.Float64("slo-p99-ms", 0, "fail (exit 1) when p99 segment-fetch latency exceeds this many ms (0 = no gate)")
+		minHit     = flag.Float64("min-hit-ratio", 0, "fail (exit 1) when the self-serve cache hit ratio falls below this (0 = no gate)")
 		zeroAllocs = flag.Bool("require-zero-allocs", false, "fail (exit 1) when the warmed origin allocates any plane in steady state (needs -selfserve, not -decode)")
 		maxErrors  = flag.Int64("max-client-errors", 0, "fail (exit 1) when more clients than this die on errors (-1 = no gate)")
 	)
 	flag.Parse()
 
 	cfg := loadgen.Config{
-		BaseURL:         *url,
 		Clients:         *clients,
 		ChunksPerClient: *chunks,
 		Seed:            *seed,
@@ -83,6 +89,11 @@ func main() {
 	}
 	if *chunks == 0 {
 		cfg.Duration = *duration
+	}
+	for _, u := range strings.Split(*url, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			cfg.Targets = append(cfg.Targets, u)
+		}
 	}
 
 	mix, err := loadgen.ParseMix(*profiles)
@@ -104,6 +115,7 @@ func main() {
 			ChunkSeconds: *chunkSec,
 			Chunks:       *nchunks,
 			Source:       video.NewGenerator(cat, *contSeed),
+			CacheBytes:   *cacheBytes,
 		}
 		if *rates != "" {
 			if srv.Rates, err = parseRates(*rates); err != nil {
@@ -111,6 +123,9 @@ func main() {
 			}
 		}
 		cfg.Server = srv
+		cfg.ClusterNodes = *nodes
+	} else if *nodes > 1 {
+		fatal(fmt.Errorf("-cluster needs -selfserve (external clusters: pass all node URLs to -url)"))
 	}
 	if *zeroAllocs && (!*selfserve || *decode) {
 		fatal(fmt.Errorf("-require-zero-allocs needs -selfserve without -decode (the plane counter is process-wide)"))
@@ -154,6 +169,15 @@ func main() {
 	if *maxErrors >= 0 && rep.ErrorCount > *maxErrors {
 		fmt.Fprintf(os.Stderr, "nerveload: %d clients died on errors (budget %d); first: %+v\n", rep.ErrorCount, *maxErrors, rep.Errors)
 		failed = true
+	}
+	if *minHit > 0 {
+		if rep.Cache == nil {
+			fmt.Fprintln(os.Stderr, "nerveload: CACHE VIOLATION: -min-hit-ratio needs -selfserve (no cache stats against an external origin)")
+			failed = true
+		} else if rep.CacheHitRatio < *minHit {
+			fmt.Fprintf(os.Stderr, "nerveload: CACHE VIOLATION: hit ratio %.3f < required %.3f\n", rep.CacheHitRatio, *minHit)
+			failed = true
+		}
 	}
 	if failed {
 		os.Exit(1)

@@ -22,6 +22,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -42,6 +43,8 @@ var (
 	cDegraded  = telemetry.NewCounter("httpstream_degraded_chunks")
 	cEncodes   = telemetry.NewCounter("httpstream_server_encodes")
 	cWriteErrs = telemetry.NewCounter("httpstream_server_write_errors")
+	cCancels   = telemetry.NewCounter("httpstream_server_cancels")
+	cFailovers = telemetry.NewCounter("httpstream_failovers")
 )
 
 // Manifest describes a stream to clients.
@@ -69,6 +72,18 @@ type ServerConfig struct {
 	Rates []int
 	// Source generates the content (default GamePlay seed 1).
 	Source *video.Generator
+	// CacheBytes bounds the segment/codes LRU cache (payload bytes;
+	// default DefaultCacheBytes). Evicted segments re-encode on demand,
+	// still collapsed by the singleflight.
+	CacheBytes int64
+	// Live switches the m3u8 media playlists from VOD to a sliding
+	// window over an infinite stream that loops the procedural source
+	// (see playlist.go). The JSON manifest and /segment endpoints are
+	// unaffected.
+	Live bool
+	// LiveWindow is the live window length in segments (default
+	// DefaultLiveWindow).
+	LiveWindow int
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -110,15 +125,22 @@ type Server struct {
 	cfg      ServerConfig
 	manifest Manifest
 
-	cacheMu sync.RWMutex
-	segs    map[[2]int][]byte // (rate, chunk) → payload
-	codes   map[int][]byte    // chunk → payload
+	// cache is the bounded LRU holding segment and codes payloads
+	// (keys "seg:<rate>:<n>" and "codes:<n>"). Eviction re-encodes on
+	// the next request for the key, under the singleflight.
+	cache *Cache
 
 	flight flightGroup
 	encs   []*serverRate
 
+	// startNano anchors the live playlist's media-sequence clock; now is
+	// the clock hook (overridable in tests).
+	startNano int64
+	now       func() int64
+
 	encodes     atomic.Int64 // chunk encodes performed (duplicates would inflate this)
 	writeErrors atomic.Int64
+	cancels     atomic.Int64 // requests abandoned because the client went away mid-build
 
 	// testErr, when set, makes payload builders fail (internal-error path
 	// coverage).
@@ -146,19 +168,25 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 			RatesKbps:    cfg.Rates,
 			FPS:          video.FPS,
 		},
-		segs:  make(map[[2]int][]byte),
-		codes: make(map[int][]byte),
+		cache: NewCache(cfg.CacheBytes),
+		now:   timeNowNano,
 	}
-	for _, kbps := range cfg.Rates {
-		s.encs = append(s.encs, &serverRate{
-			enc: codec.NewEncoder(codec.Config{
-				W: cfg.W, H: cfg.H,
-				GOP:           int(cfg.ChunkSeconds * video.FPS),
-				TargetBitrate: float64(kbps) * 1000,
-			}),
-		})
+	s.startNano = s.now()
+	for rate := range cfg.Rates {
+		s.encs = append(s.encs, &serverRate{enc: s.newEncoder(rate)})
 	}
 	return s, nil
+}
+
+// newEncoder builds rung rate's encoder — used at construction and to
+// rebuild encoder state when an evicted chunk must re-encode from the
+// top of the stream (P frames depend on history).
+func (s *Server) newEncoder(rate int) *codec.Encoder {
+	return codec.NewEncoder(codec.Config{
+		W: s.cfg.W, H: s.cfg.H,
+		GOP:           int(s.cfg.ChunkSeconds * video.FPS),
+		TargetBitrate: float64(s.cfg.Rates[rate]) * 1000,
+	})
 }
 
 // Manifest returns the stream description.
@@ -174,37 +202,55 @@ func (s *Server) Encodes() int64 { return s.encodes.Load() }
 // beyond the bytes already sent.
 func (s *Server) WriteErrors() int64 { return s.writeErrors.Load() }
 
+// ClientCancels returns how many requests were abandoned because the
+// client disconnected while waiting on a payload build — the 499-style
+// tally (no response was written; nobody was listening).
+func (s *Server) ClientCancels() int64 { return s.cancels.Load() }
+
+// CacheStats returns the segment cache's counters and residency.
+func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
+
 // framesPerChunk returns the frames per segment.
 func (s *Server) framesPerChunk() int {
 	return int(s.cfg.ChunkSeconds * video.FPS)
 }
 
-func (s *Server) cachedSeg(rate, n int) ([]byte, bool) {
-	s.cacheMu.RLock()
-	b, ok := s.segs[[2]int{rate, n}]
-	s.cacheMu.RUnlock()
-	return b, ok
-}
+func segKey(rate, n int) string { return fmt.Sprintf("seg:%d:%d", rate, n) }
 
-// segment returns (encoding on demand) the wire payload of one chunk at one
-// rate. Chunks encode in order per rate (P frames depend on history), so a
-// cache miss encodes every not-yet-encoded chunk up to n — under that
-// rate's lock only.
-func (s *Server) segment(rate, n int) ([]byte, error) {
+// segment returns (encoding on demand) the wire payload of one chunk at
+// one rate. Chunks encode in order per rate (P frames depend on history),
+// so a cache miss encodes every not-yet-encoded chunk up to n — under
+// that rate's lock only. A miss on a chunk the rate has already passed
+// (the LRU evicted it) rebuilds the encoder and replays from the top of
+// the stream; the singleflight caps the stampede either way, so encodes
+// stay ≤ rates×chunks per cache residency.
+//
+// ctx bounds only the wait: a caller whose client disconnects stops
+// waiting, while the winning builder always finishes and populates the
+// cache.
+func (s *Server) segment(ctx context.Context, rate, n int) ([]byte, error) {
 	if rate < 0 || rate >= len(s.encs) || n < 0 || n >= s.cfg.Chunks {
 		return nil, fmt.Errorf("httpstream: segment rate=%d n=%d %w", rate, n, errOutOfRange)
 	}
-	if b, ok := s.cachedSeg(rate, n); ok {
+	if b, ok := s.cache.Get(segKey(rate, n)); ok {
 		return b, nil
 	}
-	return s.flight.Do(fmt.Sprintf("seg:%d:%d", rate, n), func() ([]byte, error) {
-		if b, ok := s.cachedSeg(rate, n); ok {
+	return s.flight.DoCtx(ctx, segKey(rate, n), func() ([]byte, error) {
+		if b, ok := s.cache.Get(segKey(rate, n)); ok {
 			return b, nil
 		}
 		sr := s.encs[rate]
 		sr.mu.Lock()
 		defer sr.mu.Unlock()
+		if sr.next > n {
+			// Encoded once, since evicted: replay the rate from chunk 0
+			// to rebuild the P-frame history. Deterministic source +
+			// encoder reproduce the original bytes exactly.
+			sr.enc = s.newEncoder(rate)
+			sr.next = 0
+		}
 		fpc := s.framesPerChunk()
+		var want []byte
 		for sr.next <= n {
 			if s.testErr != nil {
 				return nil, s.testErr
@@ -222,35 +268,31 @@ func (s *Server) segment(rate, n int) ([]byte, error) {
 			}
 			s.encodes.Add(1)
 			cEncodes.Add(1)
-			s.cacheMu.Lock()
-			s.segs[[2]int{rate, sr.next}] = payload
-			s.cacheMu.Unlock()
+			s.cache.Put(segKey(rate, sr.next), payload)
+			if sr.next == n {
+				want = payload
+			}
 			sr.next++
 		}
-		b, _ := s.cachedSeg(rate, n)
-		return b, nil
+		return want, nil
 	})
 }
+
+func codesKey(n int) string { return fmt.Sprintf("codes:%d", n) }
 
 // codesFor returns the compressed binary point codes of one chunk. Codes
 // are extracted statelessly from the source frames (the server side-channel
 // path), independent of any rate's encoder state — distinct chunks extract
-// fully in parallel.
-func (s *Server) codesFor(n int) ([]byte, error) {
+// fully in parallel. ctx bounds the wait exactly as in segment.
+func (s *Server) codesFor(ctx context.Context, n int) ([]byte, error) {
 	if n < 0 || n >= s.cfg.Chunks {
 		return nil, fmt.Errorf("httpstream: codes n=%d %w", n, errOutOfRange)
 	}
-	s.cacheMu.RLock()
-	b, ok := s.codes[n]
-	s.cacheMu.RUnlock()
-	if ok {
+	if b, ok := s.cache.Get(codesKey(n)); ok {
 		return b, nil
 	}
-	return s.flight.Do(fmt.Sprintf("codes:%d", n), func() ([]byte, error) {
-		s.cacheMu.RLock()
-		b, ok := s.codes[n]
-		s.cacheMu.RUnlock()
-		if ok {
+	return s.flight.DoCtx(ctx, codesKey(n), func() ([]byte, error) {
+		if b, ok := s.cache.Get(codesKey(n)); ok {
 			return b, nil
 		}
 		if s.testErr != nil {
@@ -266,9 +308,7 @@ func (s *Server) codesFor(n int) ([]byte, error) {
 			payload = binary.BigEndian.AppendUint32(payload, uint32(len(packed)))
 			payload = append(payload, packed...)
 		}
-		s.cacheMu.Lock()
-		s.codes[n] = payload
-		s.cacheMu.Unlock()
+		s.cache.Put(codesKey(n), payload)
 		return payload, nil
 	})
 }
@@ -293,35 +333,66 @@ func httpStatus(err error) int {
 	return http.StatusInternalServerError
 }
 
+// m3u8ContentType is the HLS playlist media type.
+const m3u8ContentType = "application/vnd.apple.mpegurl"
+
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	switch r.URL.Path {
-	case "/manifest":
+	switch {
+	case r.URL.Path == "/manifest":
 		w.Header().Set("Content-Type", "application/json")
 		if err := json.NewEncoder(w).Encode(s.manifest); err != nil {
 			s.writeErrors.Add(1)
 			cWriteErrs.Add(1)
 		}
-	case "/segment":
+	case r.URL.Path == "/master.m3u8":
+		w.Header().Set("Content-Type", m3u8ContentType)
+		if _, err := w.Write(s.masterPlaylist()); err != nil {
+			s.writeErrors.Add(1)
+			cWriteErrs.Add(1)
+		}
+	case strings.HasPrefix(r.URL.Path, "/media/") && strings.HasSuffix(r.URL.Path, ".m3u8"):
+		rate, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(r.URL.Path, "/media/"), ".m3u8"))
+		if err != nil {
+			http.Error(w, "media playlist path is /media/<rate>.m3u8", http.StatusBadRequest)
+			return
+		}
+		b, err := s.mediaPlaylist(rate)
+		if err != nil {
+			http.Error(w, err.Error(), httpStatus(err))
+			return
+		}
+		w.Header().Set("Content-Type", m3u8ContentType)
+		if _, err := w.Write(b); err != nil {
+			s.writeErrors.Add(1)
+			cWriteErrs.Add(1)
+		}
+	case r.URL.Path == "/segment":
 		rate, err1 := strconv.Atoi(r.URL.Query().Get("rate"))
 		n, err2 := strconv.Atoi(r.URL.Query().Get("n"))
 		if err1 != nil || err2 != nil {
 			http.Error(w, "segment needs integer rate and n", http.StatusBadRequest)
 			return
 		}
-		b, err := s.segment(rate, n)
+		b, err := s.segment(r.Context(), rate, n)
+		if s.abandoned(r, err) {
+			return
+		}
 		if err != nil {
 			http.Error(w, err.Error(), httpStatus(err))
 			return
 		}
 		s.writePayload(w, b)
-	case "/codes":
+	case r.URL.Path == "/codes":
 		n, err := strconv.Atoi(r.URL.Query().Get("n"))
 		if err != nil {
 			http.Error(w, "codes needs integer n", http.StatusBadRequest)
 			return
 		}
-		b, err := s.codesFor(n)
+		b, err := s.codesFor(r.Context(), n)
+		if s.abandoned(r, err) {
+			return
+		}
 		if err != nil {
 			http.Error(w, err.Error(), httpStatus(err))
 			return
@@ -330,6 +401,19 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	default:
 		http.NotFound(w, r)
 	}
+}
+
+// abandoned classifies a payload-build error caused by the request's own
+// context ending — the client disconnected while waiting. Nobody is
+// listening for a response, so the handler just returns; the 499-style
+// tally is kept in ClientCancels.
+func (s *Server) abandoned(r *http.Request, err error) bool {
+	if err == nil || r.Context().Err() == nil || !errors.Is(err, r.Context().Err()) {
+		return false
+	}
+	s.cancels.Add(1)
+	cCancels.Add(1)
+	return true
 }
 
 // splitLengthPrefixed splits a payload of u32-length-prefixed records.
@@ -371,19 +455,29 @@ type ChunkResult struct {
 }
 
 // Client streams from a Server URL, running the NERVE client engine.
+// With WithFailover it holds a ring of equivalent origin URLs (a cluster's
+// nodes) and rotates to the next on transient failure, so one node dying
+// degrades service instead of ending it.
 type Client struct {
-	base     string
 	http     *http.Client
 	manifest Manifest
 	engine   *core.Client
+
+	// bases is the failover ring of origin base URLs; baseIdx is the
+	// one currently in use. Rotation is sticky: a base is used until it
+	// fails.
+	baseMu  sync.Mutex
+	bases   []string
+	baseIdx int
 
 	policy  RetryPolicy
 	backoff *backoffer
 	// sleep is the inter-retry wait (overridable in tests).
 	sleep func(time.Duration)
 
-	retries  atomic.Int64
-	degraded atomic.Int64
+	retries   atomic.Int64
+	degraded  atomic.Int64
+	failovers atomic.Int64
 }
 
 // ClientOption tweaks a Client at construction.
@@ -392,6 +486,13 @@ type ClientOption func(*Client)
 // WithRetryPolicy sets the fetch fault-handling policy.
 func WithRetryPolicy(p RetryPolicy) ClientOption {
 	return func(c *Client) { c.policy = p.withDefaults() }
+}
+
+// WithFailover appends fallback origin URLs (a cluster's other nodes).
+// A transient failure rotates the client to the next base before the
+// retry, round-robin over the full ring.
+func WithFailover(urls ...string) ClientOption {
+	return func(c *Client) { c.bases = append(c.bases, urls...) }
 }
 
 // NewClient fetches the manifest and prepares the engine. enableRecovery
@@ -418,19 +519,7 @@ func NewClient(baseURL string, httpClient *http.Client, enableRecovery bool, opt
 // goroutine-cheap: no per-client planes, pools or models, just sockets.
 // PlayChunk and PlayAll on a fetch-only client return an error.
 func NewFetchClient(baseURL string, httpClient *http.Client, opts ...ClientOption) (*Client, error) {
-	if httpClient == nil {
-		httpClient = http.DefaultClient
-	}
-	c := &Client{
-		base:   baseURL,
-		http:   httpClient,
-		policy: RetryPolicy{}.withDefaults(),
-		sleep:  time.Sleep,
-	}
-	for _, o := range opts {
-		o(c)
-	}
-	c.backoff = newBackoffer(c.policy)
+	c := NewRawClient(baseURL, httpClient, opts...)
 	raw, err := c.fetch("/manifest")
 	if err != nil {
 		return nil, fmt.Errorf("httpstream: manifest: %w", err)
@@ -441,6 +530,53 @@ func NewFetchClient(baseURL string, httpClient *http.Client, opts ...ClientOptio
 	return c, nil
 }
 
+// NewRawClient builds the thinnest client: the retry/backoff/failover
+// fetch machinery with no manifest bootstrap and no engine. The cluster
+// peer-fetch path uses it — a peer may be down at construction time, and
+// peers exchange raw payload paths, not manifests.
+func NewRawClient(baseURL string, httpClient *http.Client, opts ...ClientOption) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	c := &Client{
+		bases:  []string{baseURL},
+		http:   httpClient,
+		policy: RetryPolicy{}.withDefaults(),
+		sleep:  time.Sleep,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	c.backoff = newBackoffer(c.policy)
+	return c
+}
+
+// Fetch GETs path (e.g. "/segment?rate=0&n=2") from the current base
+// under the full retry/failover policy, returning the raw payload.
+func (c *Client) Fetch(path string) ([]byte, error) { return c.fetch(path) }
+
+// currentBase returns the base URL in use and its ring index.
+func (c *Client) currentBase() (string, int) {
+	c.baseMu.Lock()
+	defer c.baseMu.Unlock()
+	return c.bases[c.baseIdx], c.baseIdx
+}
+
+// failover rotates away from the base at ring index from, unless another
+// request already did.
+func (c *Client) failover(from int) {
+	c.baseMu.Lock()
+	defer c.baseMu.Unlock()
+	if len(c.bases) > 1 && c.baseIdx == from {
+		c.baseIdx = (c.baseIdx + 1) % len(c.bases)
+		c.failovers.Add(1)
+		cFailovers.Add(1)
+	}
+}
+
+// Failovers returns how many times the client rotated to a fallback base.
+func (c *Client) Failovers() int64 { return c.failovers.Load() }
+
 // Manifest returns the fetched stream description.
 func (c *Client) Manifest() Manifest { return c.manifest }
 
@@ -450,11 +586,19 @@ func (c *Client) Retries() int64 { return c.retries.Load() }
 // DegradedChunks returns how many chunks fell back to codes-only recovery.
 func (c *Client) DegradedChunks() int64 { return c.degraded.Load() }
 
-// fetchOnce performs a single attempt. status is 0 for transport errors.
-func (c *Client) fetchOnce(path string) (body []byte, status int, err error) {
+// maxErrorDrainBytes bounds how much of a non-200 response body the
+// client reads before closing: enough to let keep-alive reclaim the
+// connection for any sane error payload, small enough that a huge one is
+// abandoned (Close discards the connection) instead of stalling a retry
+// loop on an unbounded drain.
+const maxErrorDrainBytes = 16 << 10
+
+// fetchOnce performs a single attempt against the given base. status is
+// 0 for transport errors.
+func (c *Client) fetchOnce(base, path string) (body []byte, status int, err error) {
 	ctx, cancel := context.WithTimeout(context.Background(), c.policy.RequestTimeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+path, nil)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -464,8 +608,12 @@ func (c *Client) fetchOnce(path string) (body []byte, status int, err error) {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		// Drain a little so the connection can be reused.
-		io.CopyN(io.Discard, resp.Body, 512)
+		// Drain the error body (bounded) so the connection can be
+		// reused. A drain failure is a transport fault in its own right —
+		// report it rather than silently losing the connection state.
+		if _, derr := io.Copy(io.Discard, io.LimitReader(resp.Body, maxErrorDrainBytes)); derr != nil {
+			return nil, resp.StatusCode, fmt.Errorf("%s (error body drain: %w)", resp.Status, derr)
+		}
 		return nil, resp.StatusCode, fmt.Errorf("%s", resp.Status)
 	}
 	b, err := io.ReadAll(resp.Body)
@@ -487,7 +635,8 @@ func (c *Client) fetch(path string) ([]byte, error) {
 	var lastErr error
 	var lastStatus int
 	for attempt := 1; ; attempt++ {
-		b, status, err := c.fetchOnce(path)
+		base, idx := c.currentBase()
+		b, status, err := c.fetchOnce(base, path)
 		if err == nil {
 			return b, nil
 		}
@@ -495,6 +644,10 @@ func (c *Client) fetch(path string) ([]byte, error) {
 		if status >= 400 && status < 500 {
 			return nil, &FetchError{Path: path, Attempts: attempt, Status: status, Transient: false, Err: err}
 		}
+		// Transient: rotate to the next base (no-op without failover
+		// targets) before retrying — a dead node's work moves to the
+		// survivors instead of burning the whole retry budget on it.
+		c.failover(idx)
 		if attempt >= c.policy.MaxAttempts {
 			return nil, &FetchError{Path: path, Attempts: attempt, Status: lastStatus, Transient: true, Err: lastErr}
 		}

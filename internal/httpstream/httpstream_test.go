@@ -1,6 +1,7 @@
 package httpstream
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -238,7 +239,7 @@ func TestPlayAllAdapts(t *testing.T) {
 	// lazy encode (which dwarfs it under -race).
 	for rate := range srv.Manifest().RatesKbps {
 		for n := 0; n < srv.Manifest().Chunks; n++ {
-			if _, err := srv.segment(rate, n); err != nil {
+			if _, err := srv.segment(context.Background(), rate, n); err != nil {
 				t.Fatal(err)
 			}
 		}

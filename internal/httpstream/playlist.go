@@ -1,0 +1,110 @@
+package httpstream
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+)
+
+// The m3u8 manifest layer: an HLS-style master playlist over the bitrate
+// ladder and one media playlist per rung, layered on the same /segment
+// endpoints the JSON manifest clients use. Two modes:
+//
+//   - VOD (default): every media playlist lists all Chunks segments and
+//     ends with EXT-X-ENDLIST.
+//   - Live (ServerConfig.Live): each media playlist is a sliding window
+//     of LiveWindow segments over an infinite stream that loops the
+//     procedural source. EXT-X-MEDIA-SEQUENCE advances with the wall
+//     clock (one step per ChunkSeconds), segment URIs loop modulo
+//     Chunks, and an EXT-X-DISCONTINUITY tag precedes each wrap of the
+//     loop — the SPEC-style window/media-sequence/discontinuity rules.
+//
+// Endpoints:
+//
+//	GET /master.m3u8      → master playlist (one EXT-X-STREAM-INF per rung)
+//	GET /media/<r>.m3u8   → rung r's media playlist
+//
+// Segment URIs are root-relative, so they resolve correctly against
+// either playlist URL.
+
+// DefaultLiveWindow is the live sliding-window length in segments when
+// ServerConfig leaves LiveWindow zero — the HLS-typical three-target-
+// duration window.
+const DefaultLiveWindow = 3
+
+// hlsVersion is the protocol version the playlists declare. Version 3
+// covers everything emitted here (floating-point EXTINF durations).
+const hlsVersion = 3
+
+// masterPlaylist renders the top-level playlist: one variant stream per
+// ladder rung, highest bandwidth last (players commonly start at the
+// first entry, and the ABR story starts conservative).
+func (s *Server) masterPlaylist() []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "#EXTM3U\n#EXT-X-VERSION:%d\n", hlsVersion)
+	for i, kbps := range s.cfg.Rates {
+		fmt.Fprintf(&b, "#EXT-X-STREAM-INF:BANDWIDTH=%d,RESOLUTION=%dx%d,FRAME-RATE=%d\n",
+			kbps*1000, s.cfg.W, s.cfg.H, s.manifest.FPS)
+		fmt.Fprintf(&b, "/media/%d.m3u8\n", i)
+	}
+	return b.Bytes()
+}
+
+// mediaPlaylist renders rung rate's playlist. In VOD mode it is the whole
+// stream; in live mode it is the current sliding window, whose media
+// sequence (the index of the first listed segment) advances one step per
+// ChunkSeconds of wall clock.
+func (s *Server) mediaPlaylist(rate int) ([]byte, error) {
+	if rate < 0 || rate >= len(s.cfg.Rates) {
+		return nil, fmt.Errorf("httpstream: media playlist rate=%d %w", rate, errOutOfRange)
+	}
+	first, last := 0, s.cfg.Chunks-1
+	if s.cfg.Live {
+		newest := s.liveEdge()
+		first = newest - s.liveWindow() + 1
+		if first < 0 {
+			first = 0
+		}
+		last = newest
+	}
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "#EXTM3U\n#EXT-X-VERSION:%d\n", hlsVersion)
+	fmt.Fprintf(&b, "#EXT-X-TARGETDURATION:%d\n", int(math.Ceil(s.cfg.ChunkSeconds)))
+	fmt.Fprintf(&b, "#EXT-X-MEDIA-SEQUENCE:%d\n", first)
+	if !s.cfg.Live {
+		b.WriteString("#EXT-X-PLAYLIST-TYPE:VOD\n")
+	}
+	for i := first; i <= last; i++ {
+		if s.cfg.Live && i > 0 && i%s.cfg.Chunks == 0 {
+			// The looping source wraps here: timestamps restart, so the
+			// spec requires a discontinuity marker.
+			b.WriteString("#EXT-X-DISCONTINUITY\n")
+		}
+		fmt.Fprintf(&b, "#EXTINF:%.3f,\n", s.cfg.ChunkSeconds)
+		fmt.Fprintf(&b, "/segment?rate=%d&n=%d\n", rate, i%s.cfg.Chunks)
+	}
+	if !s.cfg.Live {
+		b.WriteString("#EXT-X-ENDLIST\n")
+	}
+	return b.Bytes(), nil
+}
+
+// liveEdge returns the newest segment index the live stream has reached:
+// segment k becomes available once k+1 chunk durations have elapsed
+// since the server started (a real encoder publishes a segment when it
+// is complete, not when it starts).
+func (s *Server) liveEdge() int {
+	elapsed := float64(s.now()-s.startNano) / 1e9
+	k := int(elapsed/s.cfg.ChunkSeconds) - 1
+	if k < 0 {
+		k = 0
+	}
+	return k
+}
+
+func (s *Server) liveWindow() int {
+	if s.cfg.LiveWindow > 0 {
+		return s.cfg.LiveWindow
+	}
+	return DefaultLiveWindow
+}

@@ -1,0 +1,198 @@
+package httpstream
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"nerve/internal/video"
+)
+
+func getBody(t *testing.T, url string) (string, *http.Response) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b), resp
+}
+
+func TestMasterPlaylist(t *testing.T) {
+	_, ts := testServer(t)
+	body, resp := getBody(t, ts.URL+"/master.m3u8")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != m3u8ContentType {
+		t.Fatalf("content type %q", ct)
+	}
+	if !strings.HasPrefix(body, "#EXTM3U\n") {
+		t.Fatalf("no EXTM3U header:\n%s", body)
+	}
+	// One variant per rung, bandwidth in bits/s, pointing at the media
+	// playlists.
+	for i, kbps := range []int{200, 600} {
+		if !strings.Contains(body, fmt.Sprintf("BANDWIDTH=%d", kbps*1000)) {
+			t.Errorf("rung %d bandwidth missing:\n%s", i, body)
+		}
+		if !strings.Contains(body, fmt.Sprintf("/media/%d.m3u8", i)) {
+			t.Errorf("rung %d media URI missing:\n%s", i, body)
+		}
+	}
+	if !strings.Contains(body, "RESOLUTION=96x64") {
+		t.Errorf("resolution missing:\n%s", body)
+	}
+}
+
+func TestMediaPlaylistVOD(t *testing.T) {
+	_, ts := testServer(t)
+	body, resp := getBody(t, ts.URL+"/media/1.m3u8")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	for _, want := range []string{
+		"#EXT-X-VERSION:3\n",
+		"#EXT-X-TARGETDURATION:1\n", // ceil(0.5)
+		"#EXT-X-MEDIA-SEQUENCE:0\n",
+		"#EXT-X-PLAYLIST-TYPE:VOD\n",
+		"#EXT-X-ENDLIST\n",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("missing %q:\n%s", want, body)
+		}
+	}
+	// All three segments of rung 1, in order, each with its duration.
+	if got := strings.Count(body, "#EXTINF:0.500,\n"); got != 3 {
+		t.Errorf("%d EXTINF entries, want 3:\n%s", got, body)
+	}
+	for n := 0; n < 3; n++ {
+		if !strings.Contains(body, fmt.Sprintf("/segment?rate=1&n=%d\n", n)) {
+			t.Errorf("segment %d missing:\n%s", n, body)
+		}
+	}
+	if strings.Contains(body, "#EXT-X-DISCONTINUITY") {
+		t.Error("VOD playlist carries a discontinuity tag")
+	}
+	// The playlist's segment URIs must be servable as-is.
+	if _, resp := getBody(t, ts.URL+"/segment?rate=1&n=0"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("playlist segment URI not servable: %d", resp.StatusCode)
+	}
+}
+
+func TestMediaPlaylistBadRequests(t *testing.T) {
+	_, ts := testServer(t)
+	for path, want := range map[string]int{
+		"/media/9.m3u8": http.StatusNotFound,
+		"/media/x.m3u8": http.StatusBadRequest,
+		"/media/1":      http.StatusNotFound,
+	} {
+		_, resp := getBody(t, ts.URL+path)
+		if resp.StatusCode != want {
+			t.Errorf("%s: status %d want %d", path, resp.StatusCode, want)
+		}
+	}
+}
+
+// liveServer builds a live-mode origin with a stubbed clock and returns
+// the advance function: the stream loops 3 chunks of 0.5 s with a
+// 3-segment window.
+func liveServer(t *testing.T) (*Server, func(seconds float64)) {
+	t.Helper()
+	srv, err := NewServer(ServerConfig{
+		W: 96, H: 64, ChunkSeconds: 0.5, Chunks: 3,
+		Rates:  []int{200},
+		Source: video.NewGenerator(video.Categories()[2], 7),
+		Live:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nowNano int64
+	srv.now = func() int64 { return nowNano }
+	srv.startNano = 0
+	return srv, func(seconds float64) { nowNano += int64(seconds * 1e9) }
+}
+
+func TestLivePlaylistSlidingWindow(t *testing.T) {
+	srv, advance := liveServer(t)
+
+	playlist := func() string {
+		b, err := srv.mediaPlaylist(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	seq := func(body string) int {
+		for _, line := range strings.Split(body, "\n") {
+			if s, ok := strings.CutPrefix(line, "#EXT-X-MEDIA-SEQUENCE:"); ok {
+				var n int
+				if _, err := fmt.Sscanf(s, "%d", &n); err != nil {
+					t.Fatalf("bad media sequence %q", s)
+				}
+				return n
+			}
+		}
+		t.Fatalf("no media sequence:\n%s", body)
+		return -1
+	}
+
+	// At start the window holds only segment 0.
+	body := playlist()
+	if got := seq(body); got != 0 {
+		t.Fatalf("start sequence %d, want 0", got)
+	}
+	if strings.Contains(body, "#EXT-X-ENDLIST") {
+		t.Fatal("live playlist must not end")
+	}
+	if got := strings.Count(body, "#EXTINF"); got != 1 {
+		t.Fatalf("start window holds %d segments, want 1:\n%s", got, body)
+	}
+
+	// After 2.0 s the edge is segment 3: window = {1,2,3}, sequence 1,
+	// and segment 3 wraps the looping source → URI n=0 behind a
+	// discontinuity.
+	advance(2.0)
+	body = playlist()
+	if got := seq(body); got != 1 {
+		t.Fatalf("sequence %d after 2 s, want 1", got)
+	}
+	if got := strings.Count(body, "#EXTINF"); got != 3 {
+		t.Fatalf("window holds %d segments, want 3:\n%s", got, body)
+	}
+	if !strings.Contains(body, "#EXT-X-DISCONTINUITY\n#EXTINF:0.500,\n/segment?rate=0&n=0\n") {
+		t.Fatalf("loop wrap not marked with a discontinuity:\n%s", body)
+	}
+
+	// The sequence advances monotonically with the clock, one step per
+	// chunk duration, and the window URIs always stay within the source
+	// loop.
+	prev := 1
+	for i := 0; i < 10; i++ {
+		advance(0.5)
+		body = playlist()
+		got := seq(body)
+		if got != prev+1 {
+			t.Fatalf("sequence %d after one chunk duration, want %d", got, prev+1)
+		}
+		prev = got
+		for _, line := range strings.Split(body, "\n") {
+			if strings.HasPrefix(line, "/segment?") {
+				if !strings.Contains(body, "rate=0&n=") {
+					t.Fatalf("bad segment URI %q", line)
+				}
+				var n int
+				if _, err := fmt.Sscanf(line, "/segment?rate=0&n=%d", &n); err != nil || n < 0 || n > 2 {
+					t.Fatalf("URI %q outside the source loop", line)
+				}
+			}
+		}
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"sync"
 	"time"
 
+	"nerve/internal/cluster"
 	"nerve/internal/faultnet"
 	"nerve/internal/httpstream"
 	"nerve/internal/qoe"
@@ -90,10 +91,18 @@ type Config struct {
 	// BaseURL targets an external nerved server. Leave empty and set
 	// Server to run one in-process on a loopback listener instead.
 	BaseURL string
+	// Targets lists several external origins (a cluster): client i's
+	// primary is Targets[i mod len], with the rest as its failover ring.
+	// Overrides BaseURL when non-empty.
+	Targets []string
 	// Server, when non-nil, is the in-process origin configuration
 	// (self-serve mode). Required for the steady-state allocation proof:
 	// plane allocations can only be counted inside one process.
 	Server *httpstream.ServerConfig
+	// ClusterNodes, with Server set, runs that many cluster nodes
+	// in-process instead of one flat origin — the node-kill soak's
+	// topology, minus the kill. 0 or 1 means a single origin.
+	ClusterNodes int
 
 	// Clients is the number of concurrent simulated clients.
 	Clients int
@@ -132,8 +141,14 @@ type Config struct {
 }
 
 func (c Config) normalize() (Config, error) {
-	if c.BaseURL == "" && c.Server == nil {
-		return c, errors.New("loadgen: need BaseURL or Server")
+	if c.BaseURL == "" && len(c.Targets) == 0 && c.Server == nil {
+		return c, errors.New("loadgen: need BaseURL, Targets or Server")
+	}
+	if c.ClusterNodes > 1 && c.Server == nil {
+		return c, errors.New("loadgen: ClusterNodes needs Server (self-serve cluster mode)")
+	}
+	if len(c.Targets) == 0 && c.BaseURL != "" {
+		c.Targets = []string{c.BaseURL}
 	}
 	if c.Clients <= 0 {
 		return c, errors.New("loadgen: Clients must be positive")
@@ -205,23 +220,27 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	}
 
 	var serverEncodes func() int64
-	baseURL := cfg.BaseURL
+	var cacheStats func() httpstream.CacheStats
+	var clusterStats func() cluster.Stats
+	targets := cfg.Targets
 	if cfg.Server != nil {
-		srv, err := httpstream.NewServer(*cfg.Server)
+		t, origins, shutdown, err := startOrigins(cfg)
 		if err != nil {
 			return nil, err
 		}
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			return nil, err
-		}
-		hs := &http.Server{Handler: srv}
-		go hs.Serve(ln)
-		defer hs.Close()
-		baseURL = "http://" + ln.Addr().String()
-		serverEncodes = srv.Encodes
-		if err := warmServer(baseURL, srv.Manifest()); err != nil {
-			return nil, fmt.Errorf("loadgen: warm-up: %w", err)
+		defer shutdown()
+		targets = t
+		serverEncodes = origins.encodes
+		cacheStats = origins.cacheStats
+		clusterStats = origins.clusterStats
+		// Warm every node: each one ends up holding every payload (its
+		// own keys from its origin, the rest through peer fetches into its
+		// LRU), so the measured phase is pure cache — the steady state the
+		// allocation gate asserts on.
+		for _, u := range targets {
+			if err := warmServer(u, origins.manifest); err != nil {
+				return nil, fmt.Errorf("loadgen: warm-up %s: %w", u, err)
+			}
 		}
 	}
 
@@ -264,7 +283,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		wg.Add(1)
 		go func(id int, ps *profileState, prof faultnet.Profile) {
 			defer wg.Done()
-			h.runClient(ctx, id, baseURL, ps, prof)
+			h.runClient(ctx, id, targets, ps, prof)
 		}(id, ps, cfg.Mix[slot].Profile)
 	}
 	wg.Wait()
@@ -281,8 +300,109 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	} else {
 		rep.ServerEncodes = -1
 	}
-	rep.Target = baseURL
+	if cacheStats != nil {
+		cs := cacheStats()
+		rep.Cache = &cs
+		rep.CacheHitRatio = cs.HitRatio()
+	}
+	if clusterStats != nil {
+		st := clusterStats()
+		rep.Cluster = &st
+	}
+	rep.Target = strings.Join(targets, ",")
+	rep.Targets = targets
 	return rep, nil
+}
+
+// origins abstracts over the two self-serve topologies (one flat origin
+// vs an in-process cluster) for the report's server-side numbers.
+type origins struct {
+	manifest     httpstream.Manifest
+	encodes      func() int64
+	cacheStats   func() httpstream.CacheStats
+	clusterStats func() cluster.Stats
+}
+
+// startOrigins boots the self-serve origin(s) on loopback listeners and
+// returns their base URLs plus a shutdown closure.
+func startOrigins(cfg Config) ([]string, *origins, func(), error) {
+	n := cfg.ClusterNodes
+	if n < 1 {
+		n = 1
+	}
+	lns := make([]net.Listener, n)
+	urls := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		lns[i] = ln
+		urls[i] = "http://" + ln.Addr().String()
+	}
+	var servers []*http.Server
+	shutdown := func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}
+
+	if n == 1 {
+		srv, err := httpstream.NewServer(*cfg.Server)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		hs := &http.Server{Handler: srv}
+		servers = append(servers, hs)
+		go hs.Serve(lns[0])
+		return urls, &origins{
+			manifest:   srv.Manifest(),
+			encodes:    srv.Encodes,
+			cacheStats: srv.CacheStats,
+		}, shutdown, nil
+	}
+
+	nodes := make([]*cluster.Node, n)
+	for i := range nodes {
+		node, err := cluster.NewNode(cluster.Config{
+			Self:   urls[i],
+			Peers:  urls,
+			Origin: *cfg.Server,
+		})
+		if err != nil {
+			shutdown()
+			return nil, nil, nil, err
+		}
+		nodes[i] = node
+		hs := &http.Server{Handler: node}
+		servers = append(servers, hs)
+		go hs.Serve(lns[i])
+	}
+	return urls, &origins{
+		manifest: nodes[0].Origin().Manifest(),
+		encodes: func() int64 {
+			var total int64
+			for _, nd := range nodes {
+				total += nd.Origin().Encodes()
+			}
+			return total
+		},
+		cacheStats: func() httpstream.CacheStats {
+			var agg httpstream.CacheStats
+			for _, nd := range nodes {
+				agg.Add(nd.Origin().CacheStats())
+				agg.Add(nd.PeerCacheStats())
+			}
+			return agg
+		},
+		clusterStats: func() cluster.Stats {
+			var agg cluster.Stats
+			for _, nd := range nodes {
+				agg.Add(nd.Stats())
+			}
+			return agg
+		},
+	}, shutdown, nil
 }
 
 // mixSlots expands the weighted mix into an assignment ring of mix
@@ -327,9 +447,16 @@ func warmServer(baseURL string, m httpstream.Manifest) error {
 }
 
 // runClient is one simulated viewer: its own seeded network, its own
-// seeded retry jitter, its own player-buffer model and QoE session.
-func (h *harness) runClient(ctx context.Context, id int, baseURL string, ps *profileState, prof faultnet.Profile) {
+// seeded retry jitter, its own player-buffer model and QoE session. With
+// several targets, client id's primary is targets[id mod len] and the
+// rest form its failover ring, rotated so the fleet spreads evenly.
+func (h *harness) runClient(ctx context.Context, id int, targets []string, ps *profileState, prof faultnet.Profile) {
 	cfg := h.cfg
+	baseURL := targets[id%len(targets)]
+	var fallbacks []string
+	for j := 1; j < len(targets); j++ {
+		fallbacks = append(fallbacks, targets[(id+j)%len(targets)])
+	}
 	seed := faultnet.SeedFor(cfg.Seed, id)
 	// The manifest bootstrap is exempt from injected faults (a matching
 	// rule that injects nothing shadows the probabilistic draws): the
@@ -340,12 +467,16 @@ func (h *harness) runClient(ctx context.Context, id int, baseURL string, ps *pro
 	pol := cfg.RetryPolicy
 	pol.Seed = seed
 
+	opts := []httpstream.ClientOption{httpstream.WithRetryPolicy(pol)}
+	if len(fallbacks) > 0 {
+		opts = append(opts, httpstream.WithFailover(fallbacks...))
+	}
 	var cli *httpstream.Client
 	var err error
 	if cfg.Decode {
-		cli, err = httpstream.NewClient(baseURL, hc, cfg.Recovery, httpstream.WithRetryPolicy(pol))
+		cli, err = httpstream.NewClient(baseURL, hc, cfg.Recovery, opts...)
 	} else {
-		cli, err = httpstream.NewFetchClient(baseURL, hc, httpstream.WithRetryPolicy(pol))
+		cli, err = httpstream.NewFetchClient(baseURL, hc, opts...)
 	}
 	if err != nil {
 		if ctx.Err() == nil {

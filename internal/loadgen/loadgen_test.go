@@ -100,6 +100,94 @@ func TestSoakSmall(t *testing.T) {
 	}
 }
 
+// TestSoakHitRatio: after the warm-up pass the measured phase must serve
+// almost entirely from the LRU — the steady-state hit ratio the CI soak
+// gates on with -min-hit-ratio.
+func TestSoakHitRatio(t *testing.T) {
+	rep, err := Run(context.Background(), Config{
+		Server:          tinyServer(),
+		Clients:         24,
+		ChunksPerClient: 4,
+		Mix:             DefaultMix(),
+		Seed:            1,
+		FixedRate:       -1,
+		RetryPolicy:     fastPolicy(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cache == nil {
+		t.Fatal("self-serve run reported no cache stats")
+	}
+	if rep.CacheHitRatio < 0.8 {
+		t.Fatalf("steady-state hit ratio %.3f < 0.8: %+v", rep.CacheHitRatio, rep.Cache)
+	}
+	if rep.Cache.BytesLive > rep.Cache.Budget {
+		t.Fatalf("cache over budget: %d > %d", rep.Cache.BytesLive, rep.Cache.Budget)
+	}
+	if rep.Cluster != nil {
+		t.Fatal("single-origin run reported cluster stats")
+	}
+}
+
+// TestSoakClusterMode runs the fleet against an in-process 3-node
+// cluster: same client outcomes as the flat origin (zero errors, every
+// chunk accounted), plus ownership routing visible in the cluster block
+// and the steady state preserved — warmed nodes allocate no planes and
+// serve from cache.
+func TestSoakClusterMode(t *testing.T) {
+	mix, err := ParseMix("clean:1,lossy:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Enough load that steady-state hits dominate the 3 nodes' warm-up
+	// misses in the cumulative hit ratio.
+	const clients, chunks = 18, 8
+	rep, err := Run(context.Background(), Config{
+		Server:          tinyServer(),
+		ClusterNodes:    3,
+		Clients:         clients,
+		ChunksPerClient: chunks,
+		Mix:             mix,
+		Seed:            1,
+		FixedRate:       -1,
+		RetryPolicy:     fastPolicy(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ErrorCount != 0 {
+		t.Fatalf("client errors: %+v", rep.Errors)
+	}
+	if got := rep.Chunks + rep.Failed; got != clients*chunks {
+		t.Fatalf("accounted %d chunks, want %d", got, clients*chunks)
+	}
+	if len(rep.Targets) != 3 {
+		t.Fatalf("targets %v, want 3 cluster nodes", rep.Targets)
+	}
+	if rep.ServerPlaneAllocs != 0 {
+		t.Fatalf("warmed cluster allocated %d planes under load, want 0", rep.ServerPlaneAllocs)
+	}
+	if rep.Cluster == nil {
+		t.Fatal("cluster run reported no cluster stats")
+	}
+	if rep.Cluster.LiveNodes != 3 {
+		t.Fatalf("live nodes %d, want 3", rep.Cluster.LiveNodes)
+	}
+	if rep.Cluster.PeerFetches == 0 {
+		t.Fatal("no peer fetches — ownership routing inert")
+	}
+	if rep.Cluster.PeerErrors != 0 || rep.Cluster.LocalFallbacks != 0 || rep.Cluster.Rehashes != 0 {
+		t.Fatalf("healthy cluster reported failures: %+v", rep.Cluster)
+	}
+	if rep.Cache == nil || rep.CacheHitRatio < 0.8 {
+		t.Fatalf("cluster steady-state hit ratio too low: %+v", rep.Cache)
+	}
+	if rep.Cache.BytesLive > rep.Cache.Budget {
+		t.Fatalf("caches over budget: %d > %d", rep.Cache.BytesLive, rep.Cache.Budget)
+	}
+}
+
 // clientOutcome is the deterministic slice of a client's stats: wall
 // clock excluded, fault-driven outcomes kept.
 type clientOutcome struct {

@@ -7,12 +7,17 @@ import (
 	"sort"
 	"time"
 
+	"nerve/internal/cluster"
+	"nerve/internal/httpstream"
 	"nerve/internal/telemetry"
 )
 
 // ReportSchema versions the BENCH_load.json layout; bump it when a field
-// changes meaning so downstream analysis can dispatch.
-const ReportSchema = 1
+// changes meaning so downstream analysis can dispatch. Schema 2 added
+// targets, the cache block (LRU hit/miss/eviction counters with the
+// steady-state hit ratio) and the cluster block (ownership/peer-fetch
+// counters, self-serve cluster mode only).
+const ReportSchema = 2
 
 // ProfileStats is one network profile's share of a run.
 type ProfileStats struct {
@@ -55,10 +60,13 @@ type ClientError struct {
 // Report is the machine-readable result of a Run — the BENCH_load.json
 // schema (see OBSERVABILITY.md).
 type Report struct {
-	Schema  int    `json:"schema"`
-	Target  string `json:"target"`
-	Clients int    `json:"clients"`
-	Seed    int64  `json:"seed"`
+	Schema int `json:"schema"`
+	// Target is the comma-joined target list (kept for schema-1 readers);
+	// Targets is the structured form.
+	Target  string   `json:"target"`
+	Targets []string `json:"targets,omitempty"`
+	Clients int      `json:"clients"`
+	Seed    int64    `json:"seed"`
 	// DurationSec is the measured load phase's wall clock (warm-up
 	// excluded).
 	DurationSec float64 `json:"duration_sec"`
@@ -83,8 +91,20 @@ type Report struct {
 	ServerPlaneAllocs int64 `json:"server_plane_allocs"`
 	// ServerEncodes is the origin's total chunk encodes (self-serve
 	// only; -1 otherwise). Bounded by rates × chunks by the singleflight
-	// cache no matter the client count.
+	// cache no matter the client count (cluster mode: summed over nodes,
+	// where eviction replay and per-node ownership raise the bound).
 	ServerEncodes int64 `json:"server_encodes"`
+
+	// Cache aggregates the origin's segment/codes LRU counters (cluster
+	// mode: every node's origin cache plus its peer-payload cache).
+	// Self-serve only; absent against an external target.
+	Cache *httpstream.CacheStats `json:"cache,omitempty"`
+	// CacheHitRatio is Cache's hits/(hits+misses) — the -min-hit-ratio
+	// gate's input. Zero when Cache is absent.
+	CacheHitRatio float64 `json:"cache_hit_ratio,omitempty"`
+	// Cluster aggregates ownership routing counters over the in-process
+	// cluster (self-serve cluster mode only).
+	Cluster *cluster.Stats `json:"cluster,omitempty"`
 
 	ErrorCount int64         `json:"error_count"`
 	Errors     []ClientError `json:"errors,omitempty"`
@@ -162,6 +182,15 @@ func (r *Report) Summary(w io.Writer) {
 	fmt.Fprintf(w, "  QoE mean: %.3f, rebuffer ratio: %.4f\n", r.QoEMean, r.RebufferRatio)
 	if r.ServerEncodes >= 0 {
 		fmt.Fprintf(w, "  origin: %d encodes, %d plane allocs during load\n", r.ServerEncodes, r.ServerPlaneAllocs)
+	}
+	if r.Cache != nil {
+		fmt.Fprintf(w, "  cache: %.2f%% hit ratio (%d hits, %d misses), %d evictions, %d/%d bytes live\n",
+			100*r.CacheHitRatio, r.Cache.Hits, r.Cache.Misses, r.Cache.Evictions, r.Cache.BytesLive, r.Cache.Budget)
+	}
+	if r.Cluster != nil {
+		fmt.Fprintf(w, "  cluster: %d live nodes, %d local serves, %d peer fetches, %d peer errors, %d local fallbacks, %d rehashes\n",
+			r.Cluster.LiveNodes, r.Cluster.LocalServes, r.Cluster.PeerFetches,
+			r.Cluster.PeerErrors, r.Cluster.LocalFallbacks, r.Cluster.Rehashes)
 	}
 	for _, p := range r.Profiles {
 		fmt.Fprintf(w, "  %-7s %4d clients: p99 %.1f ms, degraded %d, failed %d, QoE %.3f, rebuf %.4f\n",
