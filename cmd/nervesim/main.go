@@ -1,11 +1,15 @@
 // Command nervesim runs one streaming session of a chosen scheme over a
 // synthetic network trace and prints the per-chunk time line plus the
-// session QoE summary.
+// session QoE summary. With -matrix it instead runs the full cross-layer
+// ABR × trace × loss matrix and writes the results JSON.
 //
 // Usage:
 //
 //	nervesim -net 5g -scheme full -seconds 240 -seed 7
 //	nervesim -net 4g -scheme worc -loss-scale 6
+//	nervesim -net 4g -scheme full -fec -packet -abr bba2-loss -loss-scale 6
+//	nervesim -net 4g -scheme full -fec -packet -qlog events.jsonl
+//	nervesim -matrix -json results/abr_matrix.json
 package main
 
 import (
@@ -65,14 +69,31 @@ func main() {
 	var (
 		netName   = flag.String("net", "5g", "network type: 3g, 4g, 5g, wifi")
 		scheme    = flag.String("scheme", "full", "client scheme")
+		abrName   = flag.String("abr", "", "override the scheme's ABR controller (see TRANSPORT_EVENTS.md and EXPERIMENTS.md): "+strings.Join(nerve.ABRNames(), ", "))
 		seconds   = flag.Float64("seconds", 240, "trace duration")
 		seed      = flag.Int64("seed", 1, "random seed")
 		lossScale = flag.Float64("loss-scale", 1, "loss multiplier (lossy experiments use 6)")
 		fecOn     = flag.Bool("fec", false, "enable planned FEC")
 		packet    = flag.Bool("packet", false, "packet-accurate transport (event-driven netem)")
+		qlogPath  = flag.String("qlog", "", "write the transport qlog event stream (JSON lines, TRANSPORT_EVENTS.md) to this file; implies -packet")
+		matrix    = flag.Bool("matrix", false, "run the cross-layer ABR x trace x loss matrix instead of one session")
+		jsonPath  = flag.String("json", "", "with -matrix: write the results JSON to this file (e.g. results/abr_matrix.json)")
+		quick     = flag.Bool("quick", false, "with -matrix: shrink the matrix to CI scale")
 		verbose   = flag.Bool("v", false, "print per-chunk lines")
 	)
 	flag.Parse()
+
+	if *matrix {
+		res := nerve.RunABRMatrix(nerve.ExperimentOptions{Quick: *quick, Seed: *seed}, os.Stdout)
+		if *jsonPath != "" {
+			if err := res.WriteJSON(*jsonPath); err != nil {
+				fmt.Fprintln(os.Stderr, "nervesim:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s (%d cells)\n", *jsonPath, len(res.Cells))
+		}
+		return
+	}
 
 	nt, err := netByName(*netName)
 	if err != nil {
@@ -87,11 +108,36 @@ func main() {
 		os.Exit(2)
 	}
 	sc.UseFEC = *fecOn
+	if *abrName != "" {
+		alg := nerve.ABRByName(*abrName)
+		if alg == nil {
+			fmt.Fprintf(os.Stderr, "nervesim: unknown ABR %q (known: %s)\n", *abrName, strings.Join(nerve.ABRNames(), ", "))
+			os.Exit(2)
+		}
+		sc.ABR = alg
+	}
 
-	tr := nerve.GenerateTrace(nt, *seconds, *seed).Downscale(1.5e6, 0.3e6, 5e6)
-	res := nerve.Simulate(nerve.SimConfig{
-		Trace: tr, Seed: *seed, LossScale: *lossScale, PacketAccurate: *packet,
-	}, sc)
+	cfg := nerve.SimConfig{
+		Trace: nerve.GenerateTrace(nt, *seconds, *seed).Downscale(1.5e6, 0.3e6, 5e6),
+		Seed:  *seed, LossScale: *lossScale, PacketAccurate: *packet,
+	}
+	var qlogFile *os.File
+	if *qlogPath != "" {
+		cfg.PacketAccurate = true
+		qlogFile, err = os.Create(*qlogPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nervesim:", err)
+			os.Exit(1)
+		}
+		cfg.QLogSink = qlogFile
+	}
+	res := nerve.Simulate(cfg, sc)
+	if qlogFile != nil {
+		if err := qlogFile.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "nervesim:", err)
+			os.Exit(1)
+		}
+	}
 
 	if *verbose {
 		fmt.Println("  t(s)   tput(Mbps)  rate  rebuf(s)  chunkQoE")
@@ -101,11 +147,17 @@ func main() {
 		}
 	}
 	fmt.Printf("scheme=%s net=%s chunks=%d\n", sc.Name, nt, len(res.Series))
+	if *abrName != "" {
+		fmt.Printf("abr=%s\n", sc.ABR.Name())
+	}
 	fmt.Printf("QoE            %8.3f\n", res.QoE)
 	fmt.Printf("recovered      %7.1f%%\n", res.RecoveredFrac*100)
 	fmt.Printf("super-resolved %7.1f%%\n", res.SRFrac*100)
 	fmt.Printf("mean stall     %8.3fs/chunk\n", res.MeanStall)
 	if *fecOn {
 		fmt.Printf("mean FEC       %7.1f%%\n", res.MeanRedundancy*100)
+	}
+	if *qlogPath != "" {
+		fmt.Printf("qlog           %s\n", *qlogPath)
 	}
 }

@@ -9,24 +9,32 @@ import (
 // State is everything an ABR algorithm may inspect when choosing the next
 // chunk's rate.
 type State struct {
-	// BufferSec is the client playback buffer level.
+	// BufferSec is the client playback buffer level in seconds of media.
 	BufferSec float64
 	// LastRate is the ladder index of the previous chunk (-1 before the
 	// first chunk).
 	LastRate int
-	// ThroughputHistory holds measured per-chunk throughputs in bps,
-	// oldest first.
+	// ThroughputHistory holds measured per-chunk application throughputs
+	// in bits per second, oldest first.
 	ThroughputHistory []float64
-	// DownloadTimeHistory holds per-chunk download durations (seconds).
+	// DownloadTimeHistory holds per-chunk download durations in seconds,
+	// oldest first (parallel to ThroughputHistory).
 	DownloadTimeHistory []float64
-	// NextChunkBytes is the size of the next chunk at each ladder rung.
+	// NextChunkBytes is the size in bytes of the next chunk at each ladder
+	// rung, index-aligned with video.Resolutions.
 	NextChunkBytes []int
 	// ChunksRemaining counts chunks left including the next one.
 	ChunksRemaining int
-	// PredictedLossRate is the loss forecast for the next chunk.
+	// PredictedLossRate is the loss forecast for the next chunk as a
+	// fraction in [0,1].
 	PredictedLossRate float64
-	// ChunkSeconds is the chunk duration (4 s in the paper).
+	// ChunkSeconds is the chunk duration in seconds (4 s in the paper).
 	ChunkSeconds float64
+	// CrossLayer, when non-nil, is the transport-level view aggregated
+	// from the qlog event stream (see TRANSPORT_EVENTS.md). Algorithms
+	// that do not understand it must ignore it; it is nil in chunk-level
+	// (fluid) simulations.
+	CrossLayer *CrossLayer
 }
 
 // Algorithm selects the ladder index for the next chunk.

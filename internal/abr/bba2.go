@@ -1,0 +1,261 @@
+package abr
+
+import "nerve/internal/video"
+
+// BBA2 is the buffer-based algorithm of Huang et al. ("A Buffer-Based
+// Approach to Rate Adaptation", SIGCOMM 2014): a rate map in rate space
+// between a reservoir and a cushion, the BBA-1 hysteresis step (stay on
+// the current rung while the map sits between the neighbouring rungs), and
+// the BBA-2 startup phase that steps up aggressively while chunks download
+// much faster than they play, until the buffer dips or the map catches up.
+//
+// Defaults are scaled for the simulator's thin real-time buffer
+// (MaxBufferSec 8) and its chunk-granularity refill: the buffer at
+// decision time always holds at least the one chunk just appended (4 s),
+// so the reservoir sits exactly there — a fully drained buffer maps to
+// the bottom rung — and the 3.5 s cushion saturates at 7.5 s, just under
+// the cap, rather than at the 90-plus seconds of the paper's DVR-sized
+// buffers.
+type BBA2 struct {
+	// ReservoirSec is the buffer level in seconds below which the lowest
+	// rung is always chosen (default 4, one chunk duration).
+	ReservoirSec float64
+	// CushionSec is the width in seconds of the linear region above the
+	// reservoir; at ReservoirSec+CushionSec the map reaches the top rung
+	// (default 3.5).
+	CushionSec float64
+
+	startup    bool
+	prevBuffer float64
+}
+
+// NewBBA2 returns BBA-2 with the thin-buffer defaults.
+func NewBBA2() *BBA2 { return &BBA2{ReservoirSec: 4, CushionSec: 3.5, startup: true} }
+
+// Name implements Algorithm.
+func (b *BBA2) Name() string { return "bba2" }
+
+// Reset implements Algorithm.
+func (b *BBA2) Reset() { b.startup = true; b.prevBuffer = 0 }
+
+// rateMap evaluates f(B): the linear map from buffer occupancy to a target
+// rate in bits per second, pinned to the lowest rung at the reservoir and
+// the highest at reservoir+cushion.
+func (b *BBA2) rateMap(s State) float64 {
+	n := numRates(s)
+	rMin := video.Resolutions()[0].Bitrate()
+	rMax := video.Resolutions()[n-1].Bitrate()
+	switch {
+	case s.BufferSec <= b.ReservoirSec:
+		return rMin
+	case s.BufferSec >= b.ReservoirSec+b.CushionSec:
+		return rMax
+	}
+	return rMin + (rMax-rMin)*(s.BufferSec-b.ReservoirSec)/b.CushionSec
+}
+
+// mapRate applies the BBA-1 hysteresis to the rate map: step up only once
+// f(B) reaches the next rung, step down only once it falls to the previous
+// rung, otherwise keep the current one.
+func (b *BBA2) mapRate(s State) int {
+	n := numRates(s)
+	bitrate := func(i int) float64 { return video.Resolutions()[i].Bitrate() }
+	switch {
+	case s.BufferSec <= b.ReservoirSec:
+		return 0
+	case s.BufferSec >= b.ReservoirSec+b.CushionSec:
+		return n - 1
+	}
+	f := b.rateMap(s)
+	prev := s.LastRate
+	if prev < 0 {
+		prev = 0
+	}
+	if prev >= n {
+		prev = n - 1
+	}
+	up, down := prev, prev
+	if prev+1 < n {
+		up = prev + 1
+	}
+	if prev > 0 {
+		down = prev - 1
+	}
+	switch {
+	case f >= bitrate(up):
+		// The map overtook the next rung: jump to the highest rung the map
+		// supports (≤ rather than the paper's < so that landing exactly on
+		// a rung of the discrete ladder still steps up).
+		k := 0
+		for i := 0; i < n; i++ {
+			if bitrate(i) <= f {
+				k = i
+			}
+		}
+		return k
+	case f <= bitrate(down):
+		// The map fell to the previous rung: drop to the lowest rung still
+		// at or above the map.
+		k := n - 1
+		for i := n - 1; i >= 0; i-- {
+			if bitrate(i) >= f {
+				k = i
+			}
+		}
+		return k
+	}
+	return prev
+}
+
+// SelectRate implements Algorithm.
+func (b *BBA2) SelectRate(s State) int {
+	r := b.mapRate(s)
+	if b.startup {
+		if su, still := b.startupRate(s, r); still {
+			b.prevBuffer = s.BufferSec
+			return su
+		}
+		b.startup = false
+	}
+	b.prevBuffer = s.BufferSec
+	return r
+}
+
+// startupRate is the BBA-2 startup ramp. While the buffer has never
+// decreased and the rate map has not caught up with the current rung, step
+// up one rung whenever the last chunk downloaded in a small fraction of
+// its play time — 1/8 while the buffer is nearly empty, relaxing to 1/4
+// and then 1/2 as it fills. Returns the chosen rung and whether the
+// algorithm is still in startup.
+func (b *BBA2) startupRate(s State, mapChoice int) (int, bool) {
+	if s.LastRate < 0 {
+		// First chunk: nothing is known, start at the bottom.
+		return 0, true
+	}
+	if s.BufferSec < b.prevBuffer {
+		// The buffer decreased: the network can no longer outrun playback.
+		return 0, false
+	}
+	if mapChoice > s.LastRate {
+		// The steady-state map caught up; hand over.
+		return 0, false
+	}
+	if len(s.DownloadTimeHistory) == 0 {
+		return s.LastRate, true
+	}
+	chunkSec := s.ChunkSeconds
+	if chunkSec <= 0 {
+		chunkSec = 4
+	}
+	fill := s.BufferSec / (b.ReservoirSec + b.CushionSec)
+	thresh := 0.5
+	switch {
+	case fill < 0.125:
+		thresh = 0.125
+	case fill < 0.5:
+		thresh = 0.25
+	}
+	dl := s.DownloadTimeHistory[len(s.DownloadTimeHistory)-1]
+	if dl < thresh*chunkSec && s.LastRate+1 < numRates(s) {
+		return s.LastRate + 1, true
+	}
+	return s.LastRate, true
+}
+
+// BBA2Loss is the loss-aware cross-layer variant: plain BBA-2, except that
+// a step-down caused by buffer drain is cancelled while the transport's
+// measured loss rate sits inside the band the client's recovery machinery
+// can mask (CrossLayer.MaskableLoss). The rationale follows GRACE
+// (arXiv:2305.12333): when the decoder hides loss at near-constant
+// quality, loss-induced throughput shortfall is not a reason to lower the
+// encoded rate — the user sees the higher rung either way, and dropping it
+// costs quality without buying stall safety. Without a cross-layer view
+// (CrossLayer nil) it is exactly BBA-2.
+type BBA2Loss struct {
+	BBA2
+	// MinLoss is the loss-rate floor in [0,1] below which the variant
+	// defers to plain BBA-2 (default 0.005: sub-half-percent loss does not
+	// meaningfully inflate wire bytes, so the hold never engages).
+	MinLoss float64
+	// FloorSec is the buffer level in seconds below which the hold
+	// disengages regardless of loss (default 2, half a chunk): with the
+	// buffer nearly empty a stall is imminent and stepping down is the
+	// right call even when the loss itself is maskable.
+	FloorSec float64
+}
+
+// NewBBA2Loss returns the loss-aware variant with defaults.
+func NewBBA2Loss() *BBA2Loss {
+	return &BBA2Loss{BBA2: *NewBBA2(), MinLoss: 0.005, FloorSec: 2}
+}
+
+// Name implements Algorithm.
+func (b *BBA2Loss) Name() string { return "bba2-loss" }
+
+// SelectRate implements Algorithm.
+func (b *BBA2Loss) SelectRate(s State) int {
+	base := b.BBA2.SelectRate(s)
+	x := s.CrossLayer
+	if x == nil || s.LastRate < 0 || base >= s.LastRate {
+		return base
+	}
+	if x.LossRate > b.MinLoss && x.LossRate <= x.MaskableLoss && s.BufferSec >= b.FloorSec {
+		// The shortfall is loss that recovery will hide: hold the rung.
+		return s.LastRate
+	}
+	return base
+}
+
+// BBA2RTT is the RTT-gradient early-backoff cross-layer variant: plain
+// BBA-2, except that it steps one rung below its buffer-based choice when
+// the transport reports queueing building up — a rising smoothed RTT or a
+// send backlog close to a full chunk duration. Both are leading
+// indicators: self-induced queueing delay grows before the buffer ever
+// drains, so the variant backs off a chunk or two earlier than a purely
+// buffer-driven controller. Without a cross-layer view it is exactly
+// BBA-2.
+type BBA2RTT struct {
+	BBA2
+	// GradientThreshold is the smoothed-RTT slope in seconds per second of
+	// session time above which the path counts as congesting
+	// (default 0.05).
+	GradientThreshold float64
+	// BacklogFrac triggers backoff when the send-queue backlog high-water
+	// exceeds this fraction of the chunk duration (default 0.85: the
+	// sender spent almost the whole chunk's play time just serialising
+	// it).
+	BacklogFrac float64
+}
+
+// NewBBA2RTT returns the RTT-gradient variant with defaults.
+func NewBBA2RTT() *BBA2RTT {
+	return &BBA2RTT{BBA2: *NewBBA2(), GradientThreshold: 0.05, BacklogFrac: 0.85}
+}
+
+// Name implements Algorithm.
+func (b *BBA2RTT) Name() string { return "bba2-rtt" }
+
+// SelectRate implements Algorithm.
+func (b *BBA2RTT) SelectRate(s State) int {
+	base := b.BBA2.SelectRate(s)
+	x := s.CrossLayer
+	if x == nil {
+		return base
+	}
+	chunkSec := s.ChunkSeconds
+	if chunkSec <= 0 {
+		chunkSec = 4
+	}
+	congesting := x.RTTGradient > b.GradientThreshold || x.BacklogSec > b.BacklogFrac*chunkSec
+	if !congesting {
+		return base
+	}
+	r := base
+	if s.LastRate >= 0 && s.LastRate < r {
+		r = s.LastRate
+	}
+	if r > 0 {
+		r--
+	}
+	return r
+}

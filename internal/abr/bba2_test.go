@@ -1,0 +1,205 @@
+package abr
+
+import "testing"
+
+// bba2State builds a steady-state snapshot for the BBA-2 family (ladder
+// {0.512, 1.024, 1.6, 2.64, 4.4} Mbps; defaults reservoir 4 s, cushion
+// 3.5 s).
+func bba2State(bufferSec float64, last int) State {
+	s := mkState(bufferSec, 2e6, last)
+	s.DownloadTimeHistory = []float64{3.5}
+	return s
+}
+
+// steadyBBA2 returns a BBA-2 past its startup phase.
+func steadyBBA2() *BBA2 {
+	b := NewBBA2()
+	b.startup = false
+	return b
+}
+
+func TestBBA2EmptyBuffer(t *testing.T) {
+	b := steadyBBA2()
+	if r := b.SelectRate(bba2State(0, 3)); r != 0 {
+		t.Fatalf("empty buffer chose rung %d, want 0", r)
+	}
+}
+
+func TestBBA2ReservoirBoundary(t *testing.T) {
+	b := steadyBBA2()
+	// At or below the reservoir the map pins to the bottom rung, whatever
+	// came before.
+	for _, buf := range []float64{1, 4} {
+		if r := b.SelectRate(bba2State(buf, 4)); r != 0 {
+			t.Fatalf("buffer %g chose rung %d, want 0", buf, r)
+		}
+	}
+	// Just above the reservoir the hysteresis takes over.
+	if r := b.SelectRate(bba2State(4.01, 0)); r != 0 {
+		t.Fatalf("buffer 4.01 from rung 0 chose %d, want 0", r)
+	}
+}
+
+func TestBBA2CushionBoundary(t *testing.T) {
+	b := steadyBBA2()
+	// At reservoir+cushion and beyond, always the top rung.
+	for _, buf := range []float64{7.5, 8, 20} {
+		if r := b.SelectRate(bba2State(buf, 0)); r != 4 {
+			t.Fatalf("buffer %g chose rung %d, want 4", buf, r)
+		}
+	}
+}
+
+func TestBBA2Hysteresis(t *testing.T) {
+	b := steadyBBA2()
+	// f(5.5) ≈ 2.18 Mbps: between rung 2 (1.6) and rung 4 (4.4) when
+	// sitting on rung 3 (2.64) — stay put.
+	if r := b.SelectRate(bba2State(5.5, 3)); r != 3 {
+		t.Fatalf("map between neighbours moved the rung: %d, want 3", r)
+	}
+	// Same buffer from rung 1: the map (2.18) reached rung 2's rate —
+	// step up to the highest rung the map supports.
+	if r := b.SelectRate(bba2State(5.5, 1)); r != 2 {
+		t.Fatalf("map past next rung chose %d, want 2", r)
+	}
+	// f(4.5) ≈ 1.07 Mbps from rung 4: the map fell below rung 3 — drop to
+	// the lowest rung still covering the map.
+	if r := b.SelectRate(bba2State(4.5, 4)); r != 2 {
+		t.Fatalf("map below previous rung chose %d, want 2", r)
+	}
+}
+
+func TestBBA2StartupRampAndExit(t *testing.T) {
+	b := NewBBA2()
+	// First chunk: nothing known, bottom rung.
+	if r := b.SelectRate(bba2State(0, -1)); r != 0 {
+		t.Fatalf("first chunk chose %d, want 0", r)
+	}
+	// Fast download (0.4 s ≪ 0.125·4 s) with a filling buffer: step up one
+	// rung per chunk even though the map alone would stay at 0.
+	s := bba2State(4.2, 0)
+	s.DownloadTimeHistory = []float64{0.4}
+	if r := b.SelectRate(s); r != 1 {
+		t.Fatalf("startup with fast download chose %d, want 1", r)
+	}
+	// Slow download during startup: hold.
+	s = bba2State(4.3, 1)
+	s.DownloadTimeHistory = []float64{3.9}
+	if r := b.SelectRate(s); r != 1 {
+		t.Fatalf("startup with slow download chose %d, want 1", r)
+	}
+	// Buffer decrease ends startup and hands over to the map.
+	s = bba2State(4.1, 1)
+	s.DownloadTimeHistory = []float64{0.4}
+	if b.SelectRate(s); b.startup {
+		t.Fatal("buffer decrease did not exit startup")
+	}
+}
+
+func TestBBA2Reset(t *testing.T) {
+	b := NewBBA2()
+	b.startup = false
+	b.prevBuffer = 6
+	b.Reset()
+	if !b.startup || b.prevBuffer != 0 {
+		t.Fatal("Reset did not restore the startup state")
+	}
+}
+
+func TestBBA2LossHoldsMaskableLoss(t *testing.T) {
+	mk := func() *BBA2Loss {
+		b := NewBBA2Loss()
+		b.startup = false
+		return b
+	}
+	// Step-down scenario: rung 4, buffer 4.5 → plain BBA-2 drops to 2.
+	base := bba2State(4.5, 4)
+
+	// No cross-layer view: identical to BBA-2.
+	if r := mk().SelectRate(base); r != 2 {
+		t.Fatalf("nil view chose %d, want the plain choice 2", r)
+	}
+	// Maskable loss: hold the rung.
+	s := base
+	s.CrossLayer = &CrossLayer{LossRate: 0.05, MaskableLoss: 0.15}
+	if r := mk().SelectRate(s); r != 4 {
+		t.Fatalf("maskable loss chose %d, want the held rung 4", r)
+	}
+	// Loss beyond what recovery can mask: defer to the step-down.
+	s = base
+	s.CrossLayer = &CrossLayer{LossRate: 0.3, MaskableLoss: 0.15}
+	if r := mk().SelectRate(s); r != 2 {
+		t.Fatalf("unmaskable loss chose %d, want 2", r)
+	}
+	// Negligible loss: the drain is congestion, not loss — step down.
+	s = base
+	s.CrossLayer = &CrossLayer{LossRate: 0.001, MaskableLoss: 0.15}
+	if r := mk().SelectRate(s); r != 2 {
+		t.Fatalf("negligible loss chose %d, want 2", r)
+	}
+	// Conventional client (MaskableLoss 0): never hold.
+	s = base
+	s.CrossLayer = &CrossLayer{LossRate: 0.05, MaskableLoss: 0}
+	if r := mk().SelectRate(s); r != 2 {
+		t.Fatalf("unmaskable client chose %d, want 2", r)
+	}
+	// Buffer under the floor: stall risk wins, no hold.
+	s = bba2State(1.5, 4)
+	s.CrossLayer = &CrossLayer{LossRate: 0.05, MaskableLoss: 0.15}
+	if r := mk().SelectRate(s); r != 0 {
+		t.Fatalf("near-empty buffer chose %d, want 0", r)
+	}
+}
+
+func TestBBA2RTTEarlyBackoff(t *testing.T) {
+	mk := func() *BBA2RTT {
+		b := NewBBA2RTT()
+		b.startup = false
+		return b
+	}
+	// Stable rung 3 at buffer 5.5.
+	base := bba2State(5.5, 3)
+
+	if r := mk().SelectRate(base); r != 3 {
+		t.Fatalf("nil view chose %d, want 3", r)
+	}
+	// Flat RTT, small backlog: no backoff.
+	s := base
+	s.CrossLayer = &CrossLayer{RTTGradient: 0.01, BacklogSec: 1}
+	if r := mk().SelectRate(s); r != 3 {
+		t.Fatalf("calm path chose %d, want 3", r)
+	}
+	// Rising RTT: back off one rung before the buffer feels it.
+	s = base
+	s.CrossLayer = &CrossLayer{RTTGradient: 0.2}
+	if r := mk().SelectRate(s); r != 2 {
+		t.Fatalf("rising RTT chose %d, want 2", r)
+	}
+	// Near-saturated send backlog: same.
+	s = base
+	s.CrossLayer = &CrossLayer{BacklogSec: 3.6}
+	if r := mk().SelectRate(s); r != 2 {
+		t.Fatalf("deep backlog chose %d, want 2", r)
+	}
+	// Already at the bottom: nowhere to go.
+	s = bba2State(4.01, 0)
+	s.CrossLayer = &CrossLayer{RTTGradient: 0.2}
+	if r := mk().SelectRate(s); r != 0 {
+		t.Fatalf("bottom rung chose %d, want 0", r)
+	}
+}
+
+func TestNewByName(t *testing.T) {
+	for _, name := range Names() {
+		alg := NewByName(name)
+		if alg == nil {
+			t.Fatalf("NewByName(%q) = nil", name)
+		}
+		if alg.Name() != name {
+			t.Fatalf("NewByName(%q).Name() = %q", name, alg.Name())
+		}
+	}
+	if NewByName("nope") != nil {
+		t.Fatal("unknown name must return nil")
+	}
+}

@@ -1,0 +1,48 @@
+package abr
+
+// CrossLayer is the transport-level view an ABR algorithm may consult in
+// addition to the application-level State fields. It is aggregated per
+// chunk from the transport qlog event stream (internal/transport/qlog,
+// taxonomy in TRANSPORT_EVENTS.md) by qlog.Aggregator; the simulator
+// copies the aggregator's Summary in here between chunks.
+//
+// The point, following the cross-layer QUIC/DASH line of work and
+// GRACE-style loss-resilient codecs: the transport knows things the
+// application-level throughput signal cannot express — whether bytes were
+// slow because the path is congested or because loss forced redundancy,
+// whether queueing delay is building before throughput collapses, and how
+// much loss the recovery engine downstream can absorb without a visible
+// stall.
+type CrossLayer struct {
+	// LossRate is the smoothed wire-loss fraction in [0,1] over recent
+	// chunks (EWMA of per-chunk first-transmission losses; local queue
+	// rejections excluded).
+	LossRate float64
+	// SRTT is the smoothed round-trip time in seconds (EWMA, gain 1/8).
+	// Samples are ACK-clocked during downloads, so SRTT includes the
+	// sender's self-induced queueing delay.
+	SRTT float64
+	// RTTGradient is the change of SRTT per second of session time
+	// between the last two chunk boundaries, in seconds per second.
+	// Positive values mean queueing delay is building — a leading
+	// congestion signal that precedes a throughput drop.
+	RTTGradient float64
+	// InflightBytes is the previous chunk's high-water mark of
+	// outstanding wire bytes.
+	InflightBytes int
+	// BacklogSec is the previous chunk's high-water send-queue backlog in
+	// seconds: how long the last enqueued packet had to wait before its
+	// first bit could hit the wire.
+	BacklogSec float64
+	// Retransmits counts reliable retransmissions in the previous chunk.
+	Retransmits int
+	// PTOCount counts probe-timeout firings in the previous chunk.
+	PTOCount int
+	// MaskableLoss is the highest wire-loss fraction in [0,1] the
+	// client's recovery machinery can hide without a user-visible stall:
+	// roughly 0.15 for the paper's neural recovery client (T_RC ≈ 22 ms
+	// fits inside a 33 ms frame interval), lower for frame reuse, zero
+	// for a conventional client that must rebuffer. Set by the simulator
+	// from the active scheme.
+	MaskableLoss float64
+}

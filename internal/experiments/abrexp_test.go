@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestABRMatrixCrossLayerWins is the ISSUE acceptance criterion: on a
+// lossy cell, the loss-aware cross-layer variant beats plain BBA-2 on QoE
+// — FEC redundancy inflates download times, the buffer-only controller
+// reads that as congestion and surrenders the rung, while the loss-aware
+// one sees a maskable loss class and holds it.
+func TestABRMatrixCrossLayerWins(t *testing.T) {
+	res, tab := ABRMatrix(Options{Quick: true, Seed: 1})
+	if len(res.Cells) == 0 || len(tab.Rows) == 0 {
+		t.Fatal("empty matrix")
+	}
+	wins := 0
+	for _, net := range []string{"4G", "WiFi"} {
+		plain := res.Cell("bba2", net, 6)
+		loss := res.Cell("bba2-loss", net, 6)
+		if plain == nil || loss == nil {
+			t.Fatalf("missing bba2/bba2-loss cells for %s@6x", net)
+		}
+		if loss.QoE > plain.QoE {
+			wins++
+		}
+	}
+	if wins == 0 {
+		t.Fatal("bba2-loss beat plain bba2 on no lossy cell")
+	}
+
+	// Every (abr, network, loss) point is present exactly once.
+	want := len(abrMatrixAlgorithms()) * 2 * len(abrMatrixLossScales)
+	if len(res.Cells) != want {
+		t.Fatalf("matrix has %d cells, want %d", len(res.Cells), want)
+	}
+	if res.Cell("bba2-rtt", "4G", 1) == nil {
+		t.Fatal("bba2-rtt missing from the matrix")
+	}
+}
+
+// TestABRMatrixJSONRoundTrip: the results/ JSON is valid and carries the
+// cells.
+func TestABRMatrixJSONRoundTrip(t *testing.T) {
+	res := &ABRMatrixResult{
+		ID: "abr-xlayer", Seed: 1, SeedsPerCell: 1, Chunks: 2,
+		Cells: []ABRCell{{ABR: "bba2", Network: "4G", LossScale: 6, QoE: 1.5}},
+	}
+	path := filepath.Join(t.TempDir(), "sub", "abr_matrix.json")
+	if err := res.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ABRMatrixResult
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(back.Cells) != 1 || back.Cells[0].QoE != 1.5 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	if c := back.Cell("bba2", "4G", 6); c == nil || c.QoE != 1.5 {
+		t.Fatalf("Cell lookup failed: %+v", c)
+	}
+}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"path/filepath"
 	"sort"
 	"time"
 
@@ -71,6 +72,15 @@ var Registry = map[string]Runner{
 	"cpu":   func(o Options, w io.Writer) error { return printAll(w, CPUEnergy(o)) },
 	"calibrate": func(o Options, w io.Writer) error {
 		_, t := CalibrateQuality(o)
+		return printAll(w, t)
+	},
+	"abr-xlayer": func(o Options, w io.Writer) error {
+		res, t := ABRMatrix(o)
+		if o.OutDir != "" {
+			if err := res.WriteJSON(filepath.Join(o.OutDir, "abr_matrix.json")); err != nil {
+				return err
+			}
+		}
 		return printAll(w, t)
 	},
 	"abl-code":   func(o Options, w io.Writer) error { return printAll(w, AblationCodeResolution(o)) },

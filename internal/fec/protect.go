@@ -36,7 +36,9 @@ func (k Kind) String() string {
 
 // ParityCount returns the number of parity shards for k data shards at the
 // given redundancy ratio (parity ≈ redundancy·k, rounded up, ≥1 when
-// redundancy > 0).
+// redundancy > 0). One RS block over GF(256) carries at most 255 shards,
+// so the count saturates at 255-k (zero once k itself reaches 255 — use
+// InterleavedParityCount for blocks that large).
 func ParityCount(k int, redundancy float64) int {
 	if redundancy <= 0 {
 		return 0
@@ -47,6 +49,41 @@ func ParityCount(k int, redundancy float64) int {
 	}
 	if k+m > 255 {
 		m = 255 - k
+		if m < 0 {
+			m = 0
+		}
+	}
+	return m
+}
+
+// InterleavedParityCount returns the total parity packet count for k data
+// packets protected as interleaved RS blocks: streaming FEC splits a block
+// larger than GF(256) allows into stripes and protects each independently,
+// so parity grows linearly with k instead of saturating at the single-block
+// cap. This is the budget the chunk-level simulator uses — a whole chunk
+// (hundreds to thousands of packets) is one protected unit.
+func InterleavedParityCount(k int, redundancy float64) int {
+	if redundancy <= 0 || k <= 0 {
+		return 0
+	}
+	// Stripe so that data+parity fits one RS block per stripe.
+	maxData := int(math.Floor(255 / (1 + redundancy)))
+	if maxData < 1 {
+		maxData = 1
+	}
+	if k <= maxData {
+		return ParityCount(k, redundancy)
+	}
+	stripes := (k + maxData - 1) / maxData
+	base := k / stripes
+	rem := k % stripes
+	m := 0
+	for s := 0; s < stripes; s++ {
+		ks := base
+		if s < rem {
+			ks++
+		}
+		m += ParityCount(ks, redundancy)
 	}
 	return m
 }

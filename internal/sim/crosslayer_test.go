@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"nerve/internal/abr"
+	"nerve/internal/trace"
+)
+
+// captureABR records the cross-layer view it is offered while delegating
+// to a fixed rung.
+type captureABR struct {
+	views []*abr.CrossLayer
+	rate  int
+}
+
+func (c *captureABR) Name() string { return "capture" }
+func (c *captureABR) Reset()       { c.views = nil }
+func (c *captureABR) SelectRate(s abr.State) int {
+	if s.CrossLayer != nil {
+		cp := *s.CrossLayer
+		c.views = append(c.views, &cp)
+	} else {
+		c.views = append(c.views, nil)
+	}
+	return c.rate
+}
+
+func lossy4G(seed int64) *trace.Trace {
+	return trace.Generate(trace.Net4G, 120, seed).Downscale(1.5e6, 0.3e6, 5e6)
+}
+
+// TestQLogStreamDeterministic: a fixed seed yields a byte-for-byte
+// identical transport event stream (the ISSUE's reproducibility
+// criterion).
+func TestQLogStreamDeterministic(t *testing.T) {
+	run := func() []byte {
+		var buf bytes.Buffer
+		set := NewSchemeSet()
+		set.UseFEC = true
+		sc := set.Full()
+		sc.UseFEC = true
+		sc.ABR = abr.NewBBA2Loss()
+		Run(Config{
+			Trace: lossy4G(3), Seed: 7, LossScale: 6, Chunks: 12,
+			PacketAccurate: true, QLogSink: &buf,
+		}, sc)
+		return buf.Bytes()
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("no qlog output from a packet-accurate session")
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same seed produced different event streams (%d vs %d bytes)", len(a), len(b))
+	}
+}
+
+// TestCrossLayerViewPopulated: packet-accurate sessions expose the
+// aggregated transport view to the controller, with the scheme's maskable
+// loss class; fluid sessions do not.
+func TestCrossLayerViewPopulated(t *testing.T) {
+	cap := &captureABR{rate: 2}
+	set := NewSchemeSet()
+	sc := set.RecoveryAlone()
+	sc.ABR = cap
+	sc.UseFEC = true
+	Run(Config{
+		Trace: lossy4G(5), Seed: 9, LossScale: 6, Chunks: 10, PacketAccurate: true,
+	}, sc)
+	if len(cap.views) != 10 {
+		t.Fatalf("controller consulted %d times, want 10", len(cap.views))
+	}
+	sawLoss := false
+	for i, v := range cap.views {
+		if v == nil {
+			t.Fatalf("chunk %d: nil cross-layer view in packet-accurate mode", i)
+		}
+		if v.MaskableLoss != 0.15 {
+			t.Fatalf("chunk %d: MaskableLoss = %g, want 0.15 for the recovery client", i, v.MaskableLoss)
+		}
+		if v.LossRate > 0 {
+			sawLoss = true
+		}
+	}
+	if !sawLoss {
+		t.Fatal("6x loss never showed up in the cross-layer loss rate")
+	}
+	if last := cap.views[len(cap.views)-1]; last.SRTT <= 0 {
+		t.Fatalf("SRTT never converged: %g", last.SRTT)
+	}
+
+	// Fluid mode: no transport, no view.
+	cap.Reset()
+	Run(Config{Trace: lossy4G(5), Seed: 9, LossScale: 6, Chunks: 5}, sc)
+	for i, v := range cap.views {
+		if v != nil {
+			t.Fatalf("chunk %d: cross-layer view present in fluid mode", i)
+		}
+	}
+}
+
+// TestMaskableLossByScheme: the reuse client gets the lower band, the
+// conventional client none.
+func TestMaskableLossByScheme(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mk   func(SchemeSet) Scheme
+		want float64
+	}{
+		{"reuse", func(s SchemeSet) Scheme { return s.WithoutRecoveryReuse() }, 0.05},
+		{"conventional", func(s SchemeSet) Scheme { return s.WithoutRecovery() }, 0},
+	} {
+		cap := &captureABR{rate: 1}
+		sc := tc.mk(NewSchemeSet())
+		sc.ABR = cap
+		Run(Config{Trace: lossy4G(5), Seed: 9, Chunks: 3, PacketAccurate: true}, sc)
+		for _, v := range cap.views {
+			if v == nil || v.MaskableLoss != tc.want {
+				t.Fatalf("%s: MaskableLoss view = %+v, want %g", tc.name, v, tc.want)
+			}
+		}
+	}
+}

@@ -10,11 +10,12 @@ import (
 // downloadPacketAccurate delivers one chunk over the event-driven network
 // stack. The conventional client uses the reliable windowed transfer
 // (retransmissions consume real link time); recovery/reuse clients ship
-// every packet once as a datagram. It fills frameLost (true where any of a
-// frame's data packets was lost on first transmission) and returns the
-// wall-clock download time, the number of lost data packets and the number
-// of parity packets that survived.
-func downloadPacketAccurate(cfg Config, scheme Scheme, clock *netem.Clock, link *netem.Link, conn *transport.Conn, start float64, pktsPerFrame, framesPerChunk, parityBudget int, frameLost []bool) (dlTime float64, totalLost, effParity int) {
+// every packet once as a datagram (conn.SendDatagram, so the qlog event
+// stream sees both paths). It fills frameLost (true where any of a frame's
+// data packets was lost on first transmission) and returns the wall-clock
+// download time, the number of lost data packets and the number of parity
+// packets that survived.
+func downloadPacketAccurate(cfg Config, scheme Scheme, clock *netem.Clock, conn *transport.Conn, start float64, pktsPerFrame, framesPerChunk, parityBudget int, frameLost []bool) (dlTime float64, totalLost, effParity int) {
 	// Advance the shared virtual clock to the request time (idle gaps,
 	// rebuffering and playback all happen between chunk downloads).
 	clock.RunUntil(start)
@@ -35,12 +36,13 @@ func downloadPacketAccurate(cfg Config, scheme Scheme, clock *netem.Clock, link 
 		dlTime = res.Done - start
 		copy(lost, res.FirstTxLost)
 	} else {
+		conn.ResetFlightWindow()
 		last := start
 		delivered := 0
 		for p := 0; p < total; p++ {
-			ok := link.Send(cfg.PacketBytes+transport.HeaderSize, func() {
-				if t := clock.Now(); t > last {
-					last = t
+			ok := conn.SendDatagram(cfg.PacketBytes, func(at float64) {
+				if at > last {
+					last = at
 				}
 				delivered++
 			})

@@ -25,6 +25,7 @@
 package sim
 
 import (
+	"io"
 	"math"
 	"math/rand"
 
@@ -36,6 +37,7 @@ import (
 	"nerve/internal/telemetry"
 	"nerve/internal/trace"
 	"nerve/internal/transport"
+	"nerve/internal/transport/qlog"
 	"nerve/internal/video"
 )
 
@@ -144,6 +146,10 @@ type Config struct {
 	// the conventional client) instead of the fluid model. Slower, but
 	// exercises the full transport stack.
 	PacketAccurate bool
+	// QLogSink, when non-nil, streams the transport qlog events of the
+	// session as deterministic JSON lines (see TRANSPORT_EVENTS.md).
+	// Packet-accurate mode only; the fluid model has no transport.
+	QLogSink io.Writer
 	// Seed drives all randomness in the session.
 	Seed int64
 }
@@ -236,11 +242,14 @@ func Run(cfg Config, scheme Scheme) *Result {
 	delta := 1.0 / video.FPS
 	session := qoe.NewSession(cfg.QoEParams)
 
-	// Event-driven network stack for packet-accurate mode.
+	// Event-driven network stack for packet-accurate mode, with the qlog
+	// event stream attached and aggregated into the ABR cross-layer view.
 	var (
 		clock   *netem.Clock
 		fwdLink *netem.Link
 		conn    *transport.Conn
+		qagg    *qlog.Aggregator
+		xview   abr.CrossLayer
 	)
 	if cfg.PacketAccurate {
 		clock = &netem.Clock{}
@@ -250,6 +259,20 @@ func Run(cfg Config, scheme Scheme) *Result {
 		revLink := netem.NewLink(clock, cfg.Trace, nil)
 		revLink.DisableLoss = true
 		conn = transport.NewConn(clock, fwdLink, revLink)
+		qtrace := qlog.New(8192) // covers a worst-case chunk's event burst
+		if cfg.QLogSink != nil {
+			qtrace.SetSink(cfg.QLogSink)
+		}
+		conn.QLog = qtrace
+		qagg = qlog.NewAggregator(qtrace)
+		// MaskableLoss (see abr.CrossLayer): how much wire loss the active
+		// client hides without a visible stall.
+		switch {
+		case scheme.Recovery:
+			xview.MaskableLoss = 0.15
+		case scheme.reuses():
+			xview.MaskableLoss = 0.05
+		}
 	}
 
 	var (
@@ -293,6 +316,19 @@ func Run(cfg Config, scheme Scheme) *Result {
 			ChunksRemaining:     cfg.Chunks - n,
 			PredictedLossRate:   lossPred.Predict(),
 			ChunkSeconds:        cfg.ChunkSeconds,
+		}
+		if qagg != nil {
+			// Close the previous chunk's event window and expose the
+			// aggregated transport view to the controller.
+			sum := qagg.Flush(now)
+			xview.LossRate = sum.LossRate
+			xview.SRTT = sum.SRTT
+			xview.RTTGradient = sum.RTTGradient
+			xview.InflightBytes = sum.InflightBytes
+			xview.BacklogSec = sum.BacklogSec
+			xview.Retransmits = sum.Retransmits
+			xview.PTOCount = sum.PTOFires
+			state.CrossLayer = &xview
 		}
 		rate := 0
 		if scheme.ABR != nil {
@@ -342,13 +378,15 @@ func Run(cfg Config, scheme Scheme) *Result {
 			pktsPerFrame = 1
 		}
 		totalPkts := pktsPerFrame * framesPerChunk
-		parityBudget := fec.ParityCount(totalPkts, red)
+		// A chunk's packets exceed one RS block; streaming FEC interleaves
+		// stripes, so the parity budget scales linearly with the chunk.
+		parityBudget := fec.InterleavedParityCount(totalPkts, red)
 		totalLost := 0
 		effParity := 0
 		var dlTime float64
 		if cfg.PacketAccurate {
 			dlTime, totalLost, effParity = downloadPacketAccurate(
-				cfg, scheme, clock, fwdLink, conn, now,
+				cfg, scheme, clock, conn, now,
 				pktsPerFrame, framesPerChunk, parityBudget, frameLost)
 		} else {
 			finish := netem.FluidDownload(cfg.Trace, now, wireBytes)

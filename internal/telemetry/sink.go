@@ -33,6 +33,9 @@ type Event struct {
 type eventSink struct {
 	mu  sync.Mutex
 	enc *json.Encoder
+	// w is the sink's writer, kept for EmitJSON's pre-encoded lines
+	// (enc always writes through it).
+	w io.Writer
 }
 
 // SetEventSink directs the registry's events to w as JSON lines (one
@@ -43,7 +46,7 @@ func (r *Registry) SetEventSink(w io.Writer) {
 		r.sink.Store(nil)
 		return
 	}
-	r.sink.Store(&eventSink{enc: json.NewEncoder(w)})
+	r.sink.Store(&eventSink{enc: json.NewEncoder(w), w: w})
 }
 
 // Emit records an event with an optional stage attribution.
@@ -56,6 +59,34 @@ func (r *Registry) Emit(kind string, stage Stage, detail string, value float64) 
 		name = stage.String()
 	}
 	r.emit(kind, name, detail, value)
+}
+
+// EventSinkActive reports whether an emitted event would actually be
+// written: the registry is enabled and a sink is attached. High-rate
+// producers that pre-encode their own lines (the transport qlog stream)
+// check this before paying the encoding cost.
+func (r *Registry) EventSinkActive() bool {
+	return r.enabled.Load() && r.sink.Load() != nil
+}
+
+// EmitJSON writes one pre-encoded JSON line (terminated by '\n') to the
+// event sink, interleaved safely with Event lines. It is the escape hatch
+// for producers whose events carry richer, deterministic fields than
+// Event — the transport qlog stream (TRANSPORT_EVENTS.md) — while still
+// funnelling through the single process-wide sink. The line is dropped
+// while the registry is disabled or no sink is attached; write errors are
+// swallowed like Emit's.
+func (r *Registry) EmitJSON(line []byte) {
+	if !r.enabled.Load() {
+		return
+	}
+	s := r.sink.Load()
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	_, _ = s.w.Write(line)
+	s.mu.Unlock()
 }
 
 func (r *Registry) emit(kind, stage, detail string, value float64) {

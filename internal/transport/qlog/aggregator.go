@@ -1,0 +1,161 @@
+package qlog
+
+// Summary is the cross-layer view aggregated from the event stream over
+// flush windows (one window per chunk in the simulator). It is the
+// transport-side source of abr.CrossLayer; units match that struct.
+type Summary struct {
+	// LossRate is the smoothed fraction [0,1] of first transmissions lost
+	// on the wire (EWMA across windows; local queue rejections excluded).
+	LossRate float64
+	// SRTT is the smoothed round-trip time in seconds (EWMA over
+	// rtt_sample events, gain RTTAlpha). During a chunk download the
+	// samples include the sender's self-induced queueing delay, exactly
+	// as ACK-clocked RTT measurements would on a real path.
+	SRTT float64
+	// RTTGradient is the SRTT change per second of session time between
+	// the last two flushes (seconds per second; positive = queue
+	// building).
+	RTTGradient float64
+	// InflightBytes is the window's high-water mark of outstanding wire
+	// bytes.
+	InflightBytes int
+	// BacklogSec is the window's high-water send-queue backlog in
+	// seconds.
+	BacklogSec float64
+	// Retransmits counts reliable retransmission attempts in the window.
+	Retransmits int
+	// PTOFires counts probe-timeout firings in the window.
+	PTOFires int
+	// LocalDrops counts local queue-overflow rejections in the window.
+	LocalDrops int
+	// Sent and Lost are the window's raw first-transmission and wire-loss
+	// counts behind LossRate's latest observation.
+	Sent, Lost int
+	// Events is the total number of events consumed so far; Skipped
+	// counts events lost to ring overwrite (a non-zero value means the
+	// ring is undersized for the producer's burst length).
+	Events, Skipped uint64
+}
+
+// Aggregator folds a Trace's events into a Summary. Call Flush at window
+// boundaries (the simulator flushes once per chunk); each flush drains
+// the events appended since the previous one, closes the window and
+// returns the updated view.
+type Aggregator struct {
+	// LossAlpha is the EWMA gain for the per-window loss rate
+	// (default 0.5: half the estimate renews each chunk).
+	LossAlpha float64
+	// RTTAlpha is the EWMA gain for SRTT (default 1/8, the classical
+	// TCP/QUIC srtt gain).
+	RTTAlpha float64
+
+	cur      Cursor
+	events   uint64
+	haveRTT  bool
+	srtt     float64
+	haveLoss bool
+	loss     float64
+	prevSRTT float64
+	prevT    float64
+	havePrev bool
+}
+
+// NewAggregator returns an aggregator reading t from its current tail.
+func NewAggregator(t *Trace) *Aggregator {
+	return &Aggregator{LossAlpha: 0.5, RTTAlpha: 1.0 / 8.0, cur: t.NewCursor()}
+}
+
+// Flush drains pending events, closes the window at time now (simulation
+// seconds) and returns the updated cross-layer view.
+func (a *Aggregator) Flush(now float64) Summary {
+	var (
+		ev                 Event
+		sent, lost         int
+		retx, ptos, ldrops int
+		inflightHW         int
+		backlogHW          float64
+	)
+	for a.cur.Next(&ev) {
+		a.events++
+		switch ev.Type {
+		case DatagramSent:
+			sent++
+		case ReliableSent:
+			if ev.Attempt == 1 {
+				sent++
+			}
+		case DatagramDropped:
+			if ev.Trigger == TriggerLoss {
+				lost++
+			} else {
+				ldrops++
+			}
+		case ReliableRetry:
+			// Each retransmission implies the previous copy was (presumed)
+			// lost on the wire — except queue-drain retries, whose drop was
+			// local.
+			retx++
+			if ev.Trigger != TriggerQueueDrain {
+				lost++
+			}
+		case LocalDrop:
+			ldrops++
+		case PTOFired:
+			ptos++
+		case RTTSample:
+			if !a.haveRTT {
+				a.srtt, a.haveRTT = ev.RTT, true
+			} else {
+				a.srtt += a.RTTAlpha * (ev.RTT - a.srtt)
+			}
+		case InflightHighWater:
+			if ev.InflightBytes > inflightHW {
+				inflightHW = ev.InflightBytes
+			}
+		case BacklogHighWater:
+			if ev.Backlog > backlogHW {
+				backlogHW = ev.Backlog
+			}
+		}
+		if ev.InflightBytes > inflightHW {
+			inflightHW = ev.InflightBytes
+		}
+		if ev.Backlog > backlogHW {
+			backlogHW = ev.Backlog
+		}
+	}
+	if sent > 0 {
+		// Every lost first transmission also produced a sent event, so the
+		// fraction is lost/sent; retransmissions of later attempts can push
+		// the count past the window's first transmissions, hence the clamp.
+		obs := float64(lost) / float64(sent)
+		if obs > 1 {
+			obs = 1
+		}
+		if !a.haveLoss {
+			a.loss, a.haveLoss = obs, true
+		} else {
+			a.loss += a.LossAlpha * (obs - a.loss)
+		}
+	}
+	var grad float64
+	if a.havePrev && now > a.prevT {
+		grad = (a.srtt - a.prevSRTT) / (now - a.prevT)
+	}
+	a.prevSRTT, a.prevT, a.havePrev = a.srtt, now, true
+
+	return Summary{
+		LossRate:      a.loss,
+		SRTT:          a.srtt,
+		RTTGradient:   grad,
+		InflightBytes: inflightHW,
+		BacklogSec:    backlogHW,
+		Retransmits:   retx,
+		PTOFires:      ptos,
+		LocalDrops:    ldrops,
+		Sent:          sent,
+		Lost:          lost,
+		Events:        a.events,
+		Skipped:       a.cur.Skipped,
+	}
+}

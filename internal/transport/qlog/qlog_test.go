@@ -1,0 +1,263 @@
+package qlog
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"nerve/internal/telemetry"
+)
+
+func TestRingCapacityRounding(t *testing.T) {
+	for _, tc := range []struct{ ask, want int }{
+		{0, 64}, {1, 64}, {64, 64}, {65, 128}, {100, 128}, {8192, 8192},
+	} {
+		if got := New(tc.ask).Cap(); got != tc.want {
+			t.Errorf("New(%d).Cap() = %d, want %d", tc.ask, got, tc.want)
+		}
+	}
+}
+
+func TestCursorReadsInOrder(t *testing.T) {
+	tr := New(64)
+	cur := tr.NewCursor()
+	for i := 0; i < 10; i++ {
+		tr.Append(Event{T: float64(i), Type: DatagramSent, Bytes: i})
+	}
+	var ev Event
+	for i := 0; i < 10; i++ {
+		if !cur.Next(&ev) {
+			t.Fatalf("cursor dried up at %d", i)
+		}
+		if ev.Bytes != i {
+			t.Fatalf("event %d out of order: got Bytes=%d", i, ev.Bytes)
+		}
+	}
+	if cur.Next(&ev) {
+		t.Fatal("cursor returned an event past the producer")
+	}
+	if cur.Skipped != 0 {
+		t.Fatalf("Skipped = %d on an in-capacity read", cur.Skipped)
+	}
+}
+
+func TestCursorSkipsOverwritten(t *testing.T) {
+	tr := New(64) // capacity 64
+	cur := tr.NewCursor()
+	for i := 0; i < 200; i++ {
+		tr.Append(Event{T: float64(i), Type: DatagramSent, Bytes: i})
+	}
+	var ev Event
+	if !cur.Next(&ev) {
+		t.Fatal("no events")
+	}
+	// The oldest retained event is 200-64 = 136.
+	if ev.Bytes != 136 {
+		t.Fatalf("first readable event = %d, want 136", ev.Bytes)
+	}
+	if cur.Skipped != 136 {
+		t.Fatalf("Skipped = %d, want 136", cur.Skipped)
+	}
+	n := 1
+	for cur.Next(&ev) {
+		n++
+	}
+	if n != 64 {
+		t.Fatalf("read %d events, want 64", n)
+	}
+	if ev.Bytes != 199 {
+		t.Fatalf("last event = %d, want 199", ev.Bytes)
+	}
+}
+
+func TestNewCursorAtOldest(t *testing.T) {
+	tr := New(64)
+	for i := 0; i < 10; i++ {
+		tr.Append(Event{T: float64(i), Bytes: i, Type: DatagramSent})
+	}
+	cur := tr.NewCursorAtOldest()
+	var ev Event
+	if !cur.Next(&ev) || ev.Bytes != 0 {
+		t.Fatalf("oldest cursor started at Bytes=%d, want 0", ev.Bytes)
+	}
+}
+
+func TestCounts(t *testing.T) {
+	tr := New(64)
+	tr.Append(Event{Type: DatagramSent})
+	tr.Append(Event{Type: DatagramSent})
+	tr.Append(Event{Type: PTOFired})
+	if tr.Count(DatagramSent) != 2 || tr.Count(PTOFired) != 1 || tr.Count(RTTSample) != 0 {
+		t.Fatalf("counts wrong: sent=%d pto=%d rtt=%d",
+			tr.Count(DatagramSent), tr.Count(PTOFired), tr.Count(RTTSample))
+	}
+	if tr.Total() != 3 {
+		t.Fatalf("Total = %d, want 3", tr.Total())
+	}
+}
+
+// TestJSONEncoding checks every emitted line is valid JSON with the
+// expected fields, zero-valued fields omitted.
+func TestJSONEncoding(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(64)
+	tr.SetRegistry(nil)
+	tr.SetSink(&buf)
+	tr.Append(Event{T: 1.25, Type: DatagramSent, Bytes: 1228, Attempt: 0,
+		Inflight: 3, InflightBytes: 3684, Backlog: 0.5})
+	tr.Append(Event{T: 2, Type: ReliableRetry, Trigger: TriggerPTO, Bytes: 100, Attempt: 2})
+	tr.Append(Event{T: 3, Type: RTTSample, RTT: 0.0521})
+
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3", len(lines))
+	}
+	var m map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &m); err != nil {
+		t.Fatalf("line 0 invalid JSON: %v\n%s", err, lines[0])
+	}
+	if m["ev"] != "datagram_sent" || m["bytes"] != float64(1228) || m["backlog"] != 0.5 {
+		t.Fatalf("line 0 fields wrong: %v", m)
+	}
+	if _, ok := m["attempt"]; ok {
+		t.Fatal("zero attempt must be omitted")
+	}
+	if _, ok := m["trigger"]; ok {
+		t.Fatal("TriggerNone must be omitted")
+	}
+	m = nil
+	if err := json.Unmarshal([]byte(lines[1]), &m); err != nil {
+		t.Fatalf("line 1 invalid JSON: %v", err)
+	}
+	if m["trigger"] != "pto" || m["attempt"] != float64(2) {
+		t.Fatalf("line 1 fields wrong: %v", m)
+	}
+	m = nil
+	if err := json.Unmarshal([]byte(lines[2]), &m); err != nil {
+		t.Fatalf("line 2 invalid JSON: %v", err)
+	}
+	if m["rtt"] != 0.0521 {
+		t.Fatalf("rtt did not round-trip: %v", m["rtt"])
+	}
+}
+
+// TestEncodingDeterministic: identical event sequences yield identical
+// bytes.
+func TestEncodingDeterministic(t *testing.T) {
+	run := func() []byte {
+		var buf bytes.Buffer
+		tr := New(64)
+		tr.SetRegistry(nil)
+		tr.SetSink(&buf)
+		for i := 0; i < 100; i++ {
+			tr.Append(Event{T: float64(i) * 0.0333, Type: EventType(i % int(numEventTypes)),
+				Bytes: i * 7, RTT: float64(i) / 3, Backlog: float64(i) / 7})
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(run(), run()) {
+		t.Fatal("two identical event sequences encoded differently")
+	}
+}
+
+// TestAppendNoAlloc: the hot path allocates nothing once the scratch
+// buffer is warm, with and without a sink.
+func TestAppendNoAlloc(t *testing.T) {
+	tr := New(1024)
+	tr.SetRegistry(nil)
+	ev := Event{T: 1.5, Type: DatagramSent, Bytes: 1228, Inflight: 2, InflightBytes: 2456, Backlog: 0.25}
+	if n := testing.AllocsPerRun(1000, func() { tr.Append(ev) }); n != 0 {
+		t.Fatalf("Append (no sink) allocates %.1f/op", n)
+	}
+	var sink bytes.Buffer
+	sink.Grow(1 << 20)
+	tr.SetSink(&sink)
+	tr.Append(ev) // warm the scratch buffer
+	if n := testing.AllocsPerRun(1000, func() { sink.Reset(); tr.Append(ev) }); n != 0 {
+		t.Fatalf("Append (sink) allocates %.1f/op", n)
+	}
+}
+
+// TestTelemetryMirror: with an event sink attached to the registry, each
+// event's JSON line lands there too.
+func TestTelemetryMirror(t *testing.T) {
+	reg := telemetry.New()
+	reg.Enable(true)
+	var sink bytes.Buffer
+	reg.SetEventSink(&sink)
+
+	tr := New(64)
+	tr.SetRegistry(reg)
+	tr.Append(Event{T: 1, Type: PTOFired, Bytes: 9})
+	if !strings.Contains(sink.String(), `"ev":"pto_fired"`) {
+		t.Fatalf("telemetry sink missing mirrored event: %q", sink.String())
+	}
+	// Detached sink: no write, no error.
+	reg.SetEventSink(nil)
+	tr.Append(Event{T: 2, Type: PTOFired})
+}
+
+func TestAggregatorWindows(t *testing.T) {
+	tr := New(256)
+	agg := NewAggregator(tr)
+
+	// Window 1: 10 first transmissions, 2 wire drops, 1 local drop, one
+	// retry after PTO, RTT samples at 100 ms.
+	for i := 0; i < 10; i++ {
+		tr.Append(Event{T: 0.1, Type: DatagramSent, Bytes: 1200, Inflight: i + 1,
+			InflightBytes: (i + 1) * 1200, Backlog: float64(i) * 0.01})
+	}
+	tr.Append(Event{T: 0.2, Type: DatagramDropped, Trigger: TriggerLoss, Bytes: 1200})
+	tr.Append(Event{T: 0.2, Type: DatagramDropped, Trigger: TriggerLoss, Bytes: 1200})
+	tr.Append(Event{T: 0.2, Type: DatagramDropped, Trigger: TriggerQueueFull, Bytes: 1200})
+	tr.Append(Event{T: 0.3, Type: PTOFired, Bytes: 1200, Attempt: 1})
+	tr.Append(Event{T: 0.3, Type: ReliableRetry, Trigger: TriggerPTO, Bytes: 1200, Attempt: 2})
+	tr.Append(Event{T: 0.4, Type: RTTSample, RTT: 0.1})
+	s := agg.Flush(1)
+
+	if s.Sent != 10 || s.Lost != 3 {
+		t.Fatalf("window 1 sent/lost = %d/%d, want 10/3", s.Sent, s.Lost)
+	}
+	if s.LossRate != 0.3 {
+		t.Fatalf("first-window loss EWMA = %g, want the raw observation 0.3", s.LossRate)
+	}
+	if s.SRTT != 0.1 {
+		t.Fatalf("first-window SRTT = %g, want 0.1", s.SRTT)
+	}
+	if s.Retransmits != 1 || s.PTOFires != 1 || s.LocalDrops != 1 {
+		t.Fatalf("retx/pto/ldrops = %d/%d/%d, want 1/1/1", s.Retransmits, s.PTOFires, s.LocalDrops)
+	}
+	if s.InflightBytes != 12000 {
+		t.Fatalf("inflight high-water = %d, want 12000", s.InflightBytes)
+	}
+	if s.BacklogSec != 0.09 {
+		t.Fatalf("backlog high-water = %g, want 0.09", s.BacklogSec)
+	}
+	if s.RTTGradient != 0 {
+		t.Fatalf("first-window gradient = %g, want 0", s.RTTGradient)
+	}
+
+	// Window 2: lossless, RTT rises to 0.5 — the loss EWMA decays and the
+	// gradient turns positive.
+	for i := 0; i < 10; i++ {
+		tr.Append(Event{T: 1.1, Type: DatagramSent, Bytes: 1200})
+	}
+	tr.Append(Event{T: 1.5, Type: RTTSample, RTT: 0.5})
+	s2 := agg.Flush(2)
+	if s2.LossRate >= s.LossRate || s2.LossRate != 0.15 {
+		t.Fatalf("loss EWMA after clean window = %g, want 0.15", s2.LossRate)
+	}
+	if s2.SRTT <= s.SRTT {
+		t.Fatalf("SRTT did not rise: %g", s2.SRTT)
+	}
+	if s2.RTTGradient <= 0 {
+		t.Fatalf("gradient = %g, want > 0 while RTT builds", s2.RTTGradient)
+	}
+
+	// An empty window keeps the loss estimate instead of dividing by zero.
+	s3 := agg.Flush(3)
+	if s3.LossRate != s2.LossRate {
+		t.Fatalf("empty window moved the loss estimate: %g -> %g", s2.LossRate, s3.LossRate)
+	}
+}

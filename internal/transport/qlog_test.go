@@ -1,0 +1,170 @@
+package transport
+
+import (
+	"testing"
+
+	"nerve/internal/transport/qlog"
+)
+
+// attach wires a fresh trace to a conn, detached from the global telemetry
+// registry so tests observe only the ring.
+func attach(c *Conn) *qlog.Trace {
+	tr := qlog.New(4096)
+	tr.SetRegistry(nil)
+	c.QLog = tr
+	return tr
+}
+
+func TestQLogDatagramLossless(t *testing.T) {
+	c, clock := newTestConn(1e6, 0, 0.05, 1)
+	tr := attach(c)
+	for i := 0; i < 5; i++ {
+		c.SendDatagram(1000, func(float64) {})
+	}
+	clock.RunUntilIdle()
+	if tr.Count(qlog.DatagramSent) != 5 || tr.Count(qlog.DatagramDelivered) != 5 {
+		t.Fatalf("sent/delivered = %d/%d, want 5/5",
+			tr.Count(qlog.DatagramSent), tr.Count(qlog.DatagramDelivered))
+	}
+	if tr.Count(qlog.DatagramDropped) != 0 {
+		t.Fatalf("unexpected drops: %d", tr.Count(qlog.DatagramDropped))
+	}
+	if tr.Count(qlog.RTTSample) != 5 {
+		t.Fatalf("rtt samples = %d, want 5", tr.Count(qlog.RTTSample))
+	}
+	if c.inflight != 0 || c.inflightBytes != 0 {
+		t.Fatalf("inflight accounting leaked: %d copies, %d bytes", c.inflight, c.inflightBytes)
+	}
+	if tr.Count(qlog.InflightHighWater) == 0 || tr.Count(qlog.BacklogHighWater) == 0 {
+		t.Fatal("no high-water events in a busy window")
+	}
+}
+
+func TestQLogDatagramLoss(t *testing.T) {
+	c, clock := newTestConn(1e6, 0.3, 0.05, 7)
+	tr := attach(c)
+	const n = 200
+	for i := 0; i < n; i++ {
+		c.SendDatagram(1000, func(float64) {})
+	}
+	clock.RunUntilIdle()
+	sent := tr.Count(qlog.DatagramSent)
+	del := tr.Count(qlog.DatagramDelivered)
+	drop := tr.Count(qlog.DatagramDropped)
+	if sent != n {
+		t.Fatalf("sent = %d, want %d", sent, n)
+	}
+	if del+drop != n {
+		t.Fatalf("delivered+dropped = %d+%d, want %d", del, drop, n)
+	}
+	if drop == 0 {
+		t.Fatal("30%% loss produced no drop events")
+	}
+	if c.inflight != 0 || c.inflightBytes != 0 {
+		t.Fatalf("inflight accounting leaked: %d copies, %d bytes", c.inflight, c.inflightBytes)
+	}
+}
+
+func TestQLogReliableRetry(t *testing.T) {
+	c, clock := newTestConn(1e6, 0.4, 0.05, 3)
+	tr := attach(c)
+	done := 0
+	for i := 0; i < 50; i++ {
+		c.SendReliable(1000, func(at float64, ok bool, attempt int) { done++ })
+	}
+	clock.RunUntilIdle()
+	if done != 50 {
+		t.Fatalf("callbacks = %d, want 50", done)
+	}
+	if tr.Count(qlog.ReliableDelivered)+tr.Count(qlog.ReliableAbandoned) != 50 {
+		t.Fatalf("delivered+abandoned = %d+%d, want 50",
+			tr.Count(qlog.ReliableDelivered), tr.Count(qlog.ReliableAbandoned))
+	}
+	// Under 40% loss some packets needed retries, and every retry was
+	// announced by a PTO (no local drops on an uncongested link).
+	if tr.Count(qlog.ReliableRetry) == 0 {
+		t.Fatal("40%% loss produced no retries")
+	}
+	if tr.Count(qlog.ReliableRetry) != uint64(c.Retx) {
+		t.Fatalf("retry events %d != Retx counter %d", tr.Count(qlog.ReliableRetry), c.Retx)
+	}
+	if tr.Count(qlog.PTOFired) < tr.Count(qlog.ReliableRetry) {
+		t.Fatalf("PTO events %d < retries %d", tr.Count(qlog.PTOFired), tr.Count(qlog.ReliableRetry))
+	}
+	if tr.Count(qlog.ReliableSent) != uint64(c.TxPackets) {
+		t.Fatalf("sent events %d != TxPackets %d", tr.Count(qlog.ReliableSent), c.TxPackets)
+	}
+	if c.inflight != 0 || c.inflightBytes != 0 {
+		t.Fatalf("inflight accounting leaked: %d copies, %d bytes", c.inflight, c.inflightBytes)
+	}
+}
+
+func TestQLogLocalDrop(t *testing.T) {
+	// A tiny queue cap forces local queue-overflow rejections.
+	c, clock := newTestConn(1e5, 0, 0.05, 1)
+	c.Fwd.MaxQueueDelay = 0.05
+	tr := attach(c)
+	done := 0
+	for i := 0; i < 20; i++ {
+		c.SendReliable(1000, func(float64, bool, int) { done++ })
+	}
+	clock.RunUntilIdle()
+	if done != 20 {
+		t.Fatalf("callbacks = %d, want 20", done)
+	}
+	if tr.Count(qlog.LocalDrop) == 0 {
+		t.Fatal("no local-drop events despite a 50 ms queue cap")
+	}
+	if tr.Count(qlog.LocalDrop) != uint64(c.LocalDrops) {
+		t.Fatalf("local-drop events %d != LocalDrops counter %d",
+			tr.Count(qlog.LocalDrop), c.LocalDrops)
+	}
+	if c.inflight != 0 || c.inflightBytes != 0 {
+		t.Fatalf("inflight accounting leaked: %d copies, %d bytes", c.inflight, c.inflightBytes)
+	}
+}
+
+// TestQLogNilIsFree: behaviour with and without a trace is identical.
+func TestQLogNilIsFree(t *testing.T) {
+	run := func(withTrace bool) (float64, int, int) {
+		c, clock := newTestConn(1e6, 0.25, 0.05, 11)
+		if withTrace {
+			attach(c)
+		}
+		var lastAt float64
+		for i := 0; i < 100; i++ {
+			c.SendReliable(1000, func(at float64, ok bool, attempt int) { lastAt = at })
+		}
+		clock.RunUntilIdle()
+		return lastAt, c.TxPackets, c.Retx
+	}
+	at1, tx1, rx1 := run(false)
+	at2, tx2, rx2 := run(true)
+	if at1 != at2 || tx1 != tx2 || rx1 != rx2 {
+		t.Fatalf("instrumentation changed behaviour: (%g,%d,%d) vs (%g,%d,%d)",
+			at1, tx1, rx1, at2, tx2, rx2)
+	}
+}
+
+func TestResetFlightWindow(t *testing.T) {
+	c, clock := newTestConn(1e6, 0, 0.05, 1)
+	tr := attach(c)
+	c.SendDatagram(1000, func(float64) {})
+	clock.RunUntilIdle()
+	hw := tr.Count(qlog.InflightHighWater)
+	if hw == 0 {
+		t.Fatal("no high-water event on first send")
+	}
+	// Same-size send without a reset: no new maximum, no new event.
+	c.SendDatagram(1000, func(float64) {})
+	clock.RunUntilIdle()
+	if tr.Count(qlog.InflightHighWater) != hw {
+		t.Fatal("repeat send set a new high-water mark")
+	}
+	c.ResetFlightWindow()
+	c.SendDatagram(1000, func(float64) {})
+	clock.RunUntilIdle()
+	if tr.Count(qlog.InflightHighWater) != hw+1 {
+		t.Fatal("reset did not restart the high-water window")
+	}
+}

@@ -5,12 +5,35 @@
 // fire-and-forget datagrams for FEC-protected media. The paper streams
 // video over QUIC and ships the 1 KB binary point code over TCP; both map
 // onto Conn here (SendReliable is the side channel).
+//
+// # Loss detection: the probe timeout
+//
+// Wire loss is invisible to the sender; the only local evidence is the
+// absence of an ACK. Conn therefore arms a probe timeout (PTO) for every
+// reliable attempt, QUIC-style: the timeout is the current RTT estimate
+// scaled by PTOFactor, plus the sender's own queueing backlog and the
+// packet's serialisation time (the clock starts when the packet could
+// actually leave, not when it was enqueued), plus a 10 ms guard. A fired
+// PTO declares the copy presumed-lost and retransmits; a copy that
+// arrives after its PTO fired is counted in SpuriousRx. Local
+// queue-overflow rejections are the exception — the drop is local
+// knowledge, so the retry is scheduled for the moment the backlog drains
+// instead of waiting a PTO out (see LocalDrops).
+//
+// # Observability
+//
+// Attaching a qlog.Trace (the QLog field) makes the connection emit the
+// structured event stream documented in TRANSPORT_EVENTS.md — datagram
+// and reliable sends/deliveries/drops, retries, RTT samples, PTO firings
+// and inflight/backlog high-water marks — which the cross-layer ABR
+// controllers consume through qlog.Aggregator. A nil QLog costs nothing.
 package transport
 
 import (
 	"math"
 
 	"nerve/internal/netem"
+	"nerve/internal/transport/qlog"
 )
 
 // AckSize is the on-wire size of an acknowledgement packet in bytes.
@@ -35,6 +58,11 @@ type Conn struct {
 	// (default 32).
 	Window int
 
+	// QLog, when non-nil, receives one structured event per transport
+	// occurrence (see TRANSPORT_EVENTS.md for the taxonomy). Leave nil to
+	// pay nothing.
+	QLog *qlog.Trace
+
 	// Counters.
 	TxPackets  int
 	Retx       int
@@ -43,6 +71,14 @@ type Conn struct {
 	// guard before reaching the wire; these retry after the backlog
 	// drains rather than waiting out a full PTO.
 	LocalDrops int
+
+	// Inflight accounting for the event stream: wire copies handed to the
+	// link and not yet delivered, presumed lost (PTO fired) or rejected.
+	inflight      int
+	inflightBytes int
+	// Per-window high-water marks (ResetFlightWindow).
+	inflightBytesHW int
+	backlogHW       float64
 }
 
 // NewConn wires a connection over the two links.
@@ -50,10 +86,15 @@ func NewConn(clock *netem.Clock, fwd, rev *netem.Link) *Conn {
 	return &Conn{Clock: clock, Fwd: fwd, Rev: rev, PTOFactor: 1.5, MaxAttempts: 10, Window: 32}
 }
 
-// pto computes the probe timeout for a packet of the given size sent now:
-// the RTT estimate scaled by PTOFactor plus the link's current queueing
-// backlog and the packet's own serialisation time (QUIC arms the PTO from
-// the time the packet actually leaves).
+// pto computes the probe timeout in seconds for a packet of the given
+// wire size sent now. The full semantics — what arms it, what firing
+// means, and the local-drop exception — are documented in the package
+// comment ("Loss detection: the probe timeout"); in short:
+//
+//	pto = RTT·PTOFactor + current queue backlog + serialisation time + 10 ms
+//
+// so the timer effectively starts when the packet could leave the sender,
+// as QUIC does, rather than when it was enqueued behind the backlog.
 func (c *Conn) pto(size int) float64 {
 	now := c.Clock.Now()
 	rtt := c.Fwd.Trace.RTTAt(now)
@@ -68,12 +109,85 @@ func (c *Conn) pto(size int) float64 {
 	return rtt*c.PTOFactor + c.Fwd.QueueDelay() + tx + 0.01
 }
 
+// ResetFlightWindow restarts the inflight/backlog high-water window of
+// the event stream: the next send exceeding zero emits fresh high-water
+// events. The simulator calls it at each chunk boundary; Transfer calls
+// it at the start of each windowed transfer.
+func (c *Conn) ResetFlightWindow() {
+	c.inflightBytesHW = 0
+	c.backlogHW = 0
+}
+
+// noteSent charges one wire copy against the inflight account and emits
+// the sent event plus any high-water events it establishes. Callers hold
+// QLog != nil.
+func (c *Conn) noteSent(typ qlog.EventType, wire, attempt int) {
+	now := c.Clock.Now()
+	c.inflight++
+	c.inflightBytes += wire
+	backlog := c.Fwd.QueueDelay()
+	c.QLog.Append(qlog.Event{
+		T: now, Type: typ, Bytes: wire, Attempt: attempt,
+		Inflight: c.inflight, InflightBytes: c.inflightBytes, Backlog: backlog,
+	})
+	if c.inflightBytes > c.inflightBytesHW {
+		c.inflightBytesHW = c.inflightBytes
+		c.QLog.Append(qlog.Event{
+			T: now, Type: qlog.InflightHighWater,
+			Inflight: c.inflight, InflightBytes: c.inflightBytes,
+		})
+	}
+	if backlog > c.backlogHW {
+		c.backlogHW = backlog
+		c.QLog.Append(qlog.Event{T: now, Type: qlog.BacklogHighWater, Backlog: backlog})
+	}
+}
+
+// uncharge releases one previously charged wire copy.
+func (c *Conn) uncharge(wire int) {
+	c.inflight--
+	c.inflightBytes -= wire
+}
+
 // SendDatagram transmits size payload bytes once with no retransmission
 // (QUIC DATAGRAM). deliver runs at arrival; if the packet is lost deliver
 // never runs. The return value only reports local queue acceptance.
 func (c *Conn) SendDatagram(size int, deliver func(at float64)) bool {
 	c.TxPackets++
-	return c.Fwd.Send(size+HeaderSize, func() { deliver(c.Clock.Now()) })
+	wire := size + HeaderSize
+	if c.QLog == nil {
+		return c.Fwd.Send(wire, func() { deliver(c.Clock.Now()) })
+	}
+	sendAt := c.Clock.Now()
+	c.noteSent(qlog.DatagramSent, wire, 0)
+	queueDropsBefore := c.Fwd.QueueDropped
+	ok := c.Fwd.Send(wire, func() {
+		now := c.Clock.Now()
+		c.uncharge(wire)
+		c.QLog.Append(qlog.Event{
+			T: now, Type: qlog.DatagramDelivered, Bytes: wire,
+			Inflight: c.inflight, InflightBytes: c.inflightBytes,
+		})
+		// ACK-clocked RTT: arrival minus send plus the reverse-path
+		// propagation the acknowledgement would take.
+		c.QLog.Append(qlog.Event{
+			T: now, Type: qlog.RTTSample,
+			RTT: now - sendAt + c.Rev.Trace.RTTAt(now)/2,
+		})
+		deliver(now)
+	})
+	if !ok {
+		trigger := qlog.TriggerLoss
+		if c.Fwd.QueueDropped > queueDropsBefore {
+			trigger = qlog.TriggerQueueFull
+		}
+		c.uncharge(wire)
+		c.QLog.Append(qlog.Event{
+			T: c.Clock.Now(), Type: qlog.DatagramDropped, Trigger: trigger,
+			Bytes: wire, Inflight: c.inflight, InflightBytes: c.inflightBytes,
+		})
+	}
+	return ok
 }
 
 // SendReliable delivers size payload bytes, retransmitting on PTO until the
@@ -87,6 +201,12 @@ func (c *Conn) SendDatagram(size int, deliver func(at float64)) bool {
 func (c *Conn) SendReliable(size int, cb func(at float64, ok bool, attempt int)) {
 	delivered := false
 	attempts := 0
+	wire := size + HeaderSize
+	// Event-stream bookkeeping (inert without a QLog): wire copies of this
+	// packet currently charged to the inflight account, and the cause the
+	// next retransmission event will carry.
+	charged := 0
+	retryTrigger := qlog.TriggerNone
 	var attempt func()
 	attempt = func() {
 		if delivered {
@@ -94,7 +214,14 @@ func (c *Conn) SendReliable(size int, cb func(at float64, ok bool, attempt int))
 		}
 		attempts++
 		if attempts > c.MaxAttempts {
-			cb(c.Clock.Now(), false, attempts-1)
+			now := c.Clock.Now()
+			if c.QLog != nil {
+				c.QLog.Append(qlog.Event{
+					T: now, Type: qlog.ReliableAbandoned,
+					Trigger: qlog.TriggerMaxAttempts, Bytes: wire, Attempt: attempts - 1,
+				})
+			}
+			cb(now, false, attempts-1)
 			return
 		}
 		thisAttempt := attempts
@@ -102,15 +229,42 @@ func (c *Conn) SendReliable(size int, cb func(at float64, ok bool, attempt int))
 		if thisAttempt > 1 {
 			c.Retx++
 		}
-		pto := c.pto(size + HeaderSize)
+		if c.QLog != nil {
+			charged++
+			c.noteSent(qlog.ReliableSent, wire, thisAttempt)
+			if thisAttempt > 1 {
+				c.QLog.Append(qlog.Event{
+					T: c.Clock.Now(), Type: qlog.ReliableRetry,
+					Trigger: retryTrigger, Bytes: wire, Attempt: thisAttempt,
+				})
+			}
+		}
+		sendAt := c.Clock.Now()
+		pto := c.pto(wire)
 		qdBefore := c.Fwd.QueueDropped
-		sent := c.Fwd.Send(size+HeaderSize, func() {
+		sent := c.Fwd.Send(wire, func() {
 			if delivered {
 				c.SpuriousRx++
 				return
 			}
 			delivered = true
 			at := c.Clock.Now()
+			if c.QLog != nil {
+				// Release every copy still charged: the packet is done;
+				// stragglers arriving later are spurious.
+				for charged > 0 {
+					charged--
+					c.uncharge(wire)
+				}
+				c.QLog.Append(qlog.Event{
+					T: at, Type: qlog.ReliableDelivered, Bytes: wire,
+					Attempt: thisAttempt, Inflight: c.inflight, InflightBytes: c.inflightBytes,
+				})
+				c.QLog.Append(qlog.Event{
+					T: at, Type: qlog.RTTSample,
+					RTT: at - sendAt + c.Rev.Trace.RTTAt(at)/2,
+				})
+			}
 			// ACK back (loss of the ACK only costs a spurious retx).
 			c.Rev.Send(AckSize, func() {})
 			cb(at, true, thisAttempt)
@@ -120,6 +274,16 @@ func (c *Conn) SendReliable(size int, cb func(at float64, ok bool, attempt int))
 			// rejected it. No point arming a PTO — retry as soon as the
 			// backlog has drained below the cap.
 			c.LocalDrops++
+			if c.QLog != nil {
+				charged--
+				c.uncharge(wire)
+				c.QLog.Append(qlog.Event{
+					T: c.Clock.Now(), Type: qlog.LocalDrop,
+					Trigger: qlog.TriggerQueueFull, Bytes: wire, Attempt: thisAttempt,
+					Inflight: c.inflight, InflightBytes: c.inflightBytes,
+				})
+				retryTrigger = qlog.TriggerQueueDrain
+			}
 			delay := c.Fwd.QueueDelay() - c.Fwd.MaxQueueDelay
 			if delay < 0 {
 				delay = 0
@@ -134,6 +298,18 @@ func (c *Conn) SendReliable(size int, cb func(at float64, ok bool, attempt int))
 		// Sent (or lost on the wire, which only the PTO can detect).
 		c.Clock.Schedule(pto, func() {
 			if !delivered {
+				if c.QLog != nil {
+					c.QLog.Append(qlog.Event{
+						T: c.Clock.Now(), Type: qlog.PTOFired,
+						Bytes: wire, Attempt: thisAttempt,
+					})
+					// The copy is presumed lost; release its charge.
+					if charged > 0 {
+						charged--
+						c.uncharge(wire)
+					}
+					retryTrigger = qlog.TriggerPTO
+				}
 				attempt()
 			}
 		})
@@ -165,6 +341,7 @@ func (r *TransferResult) Complete() bool { return r.Failed == 0 }
 // has been delivered or abandoned. The transfer starts at the current
 // simulated time; the caller drives the clock.
 func (c *Conn) Transfer(sizes []int, onDone func(*TransferResult)) {
+	c.ResetFlightWindow()
 	n := len(sizes)
 	res := &TransferResult{
 		FirstTxLost: make([]bool, n),

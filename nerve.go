@@ -148,6 +148,18 @@ func NewBufferBased() ABRAlgorithm         { return abr.NewBufferBased() }
 func NewBOLA() ABRAlgorithm                { return abr.NewBOLA() }
 func NewPensieve(seed int64) *abr.Pensieve { return abr.NewPensieve(seed) }
 
+// NewBBA2 returns BBA-2 (Huang et al., SIGCOMM 2014); NewBBA2Loss and
+// NewBBA2RTT its cross-layer variants driven by the transport qlog stream
+// (TRANSPORT_EVENTS.md).
+func NewBBA2() ABRAlgorithm     { return abr.NewBBA2() }
+func NewBBA2Loss() ABRAlgorithm { return abr.NewBBA2Loss() }
+func NewBBA2RTT() ABRAlgorithm  { return abr.NewBBA2RTT() }
+
+// ABRByName constructs any controller from its wire name (nil if unknown);
+// ABRNames lists the accepted names.
+func ABRByName(name string) ABRAlgorithm { return abr.NewByName(name) }
+func ABRNames() []string                 { return abr.Names() }
+
 // ---- Network traces, FEC and simulation ----
 
 type (
@@ -209,4 +221,17 @@ func RunExperiment(id string, opts ExperimentOptions, w io.Writer) error {
 // RunAllExperiments regenerates everything in ID order.
 func RunAllExperiments(opts ExperimentOptions, w io.Writer) error {
 	return experiments.RunAll(opts, w)
+}
+
+// ABRMatrixResult is the cross-layer ABR × trace × loss matrix in its
+// results/ JSON shape.
+type ABRMatrixResult = experiments.ABRMatrixResult
+
+// RunABRMatrix runs the cross-layer ABR matrix (packet-accurate transport,
+// recovery client, planned FEC), renders the QoE table to w and returns
+// the JSON-shaped result for WriteJSON.
+func RunABRMatrix(opts ExperimentOptions, w io.Writer) *ABRMatrixResult {
+	res, t := experiments.ABRMatrix(opts)
+	t.Fprint(w)
+	return res
 }
