@@ -9,6 +9,11 @@
 // -max-regress (or disappeared from the run), so the codec-core speedups
 // cannot silently erode.
 //
+// With -ceiling-ms / -ceiling-match it enforces an absolute per-op budget
+// instead of a relative one — the real-time gate: the 1080p pipelined
+// frame benchmark must stay under the 33 ms frame deadline no matter what
+// the baseline says.
+//
 // Usage:
 //
 //	go test -bench=. -benchmem ./... | go run ./cmd/benchjson -out BENCH_bench.json
@@ -53,6 +58,8 @@ func main() {
 	baseline := flag.String("baseline", "", "committed BENCH_*.json to gate the run against")
 	maxRegress := flag.Float64("max-regress", 0.25, "allowed fractional ns/op regression vs the baseline (with -baseline)")
 	match := flag.String("match", "", "regexp over benchmark names selecting which baseline entries are gated (with -baseline; empty = all)")
+	ceilingMs := flag.Float64("ceiling-ms", 0, "absolute ns/op ceiling in milliseconds for benchmarks matching -ceiling-match (0 = off)")
+	ceilingMatch := flag.String("ceiling-match", "", "regexp over benchmark names the -ceiling-ms gate applies to")
 	flag.Parse()
 
 	var r io.Reader = os.Stdin
@@ -69,7 +76,7 @@ func main() {
 		fatal(err)
 	}
 
-	if *out != "" || *baseline == "" {
+	if *out != "" || (*baseline == "" && *ceilingMs == 0) {
 		dst := *out
 		if dst == "" {
 			dst = "-"
@@ -105,6 +112,50 @@ func main() {
 			os.Exit(1)
 		}
 	}
+
+	if *ceilingMs > 0 {
+		if *ceilingMatch == "" {
+			fatal(fmt.Errorf("-ceiling-ms requires -ceiling-match"))
+		}
+		re, err := regexp.Compile(*ceilingMatch)
+		if err != nil {
+			fatal(err)
+		}
+		failures, report := ceiling(res, re, *ceilingMs)
+		fmt.Fprint(os.Stderr, report)
+		if failures > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) over the %.1f ms ceiling\n", failures, *ceilingMs)
+			os.Exit(1)
+		}
+	}
+}
+
+// ceiling enforces an absolute budget: every benchmark in the run matching
+// re must average under ceilMs milliseconds per op, and at least one
+// benchmark must match — a deadline gate whose benchmark silently vanished
+// is not a gate.
+func ceiling(cur *output, re *regexp.Regexp, ceilMs float64) (failures int, report string) {
+	var sb strings.Builder
+	matched := 0
+	for _, b := range cur.Benchmarks {
+		if !re.MatchString(b.Name) {
+			continue
+		}
+		matched++
+		gotMs := b.NsPerOp / 1e6
+		verdict := "ok"
+		if gotMs > ceilMs {
+			failures++
+			verdict = "OVER"
+		}
+		fmt.Fprintf(&sb, "%-9s %s (cpus=%d): %.2f ms/op vs %.1f ms ceiling\n",
+			verdict, b.Name, b.CPUs, gotMs, ceilMs)
+	}
+	if matched == 0 {
+		failures++
+		fmt.Fprintf(&sb, "MISSING no benchmark in the run matches the ceiling gate %q\n", re)
+	}
+	return failures, sb.String()
 }
 
 // loadBaseline reads a committed BENCH_*.json artifact.

@@ -14,6 +14,7 @@
 //	nervebench -quick               # reduced workload
 //	nervebench -workers 1 -exp fig7 # pin the worker pool (also: NERVE_WORKERS)
 //	nervebench -all -quick -telemetry BENCH_telemetry.json
+//	nervebench -stages -quick       # pipelined 1080p session: stage p50/p99 + overlap
 package main
 
 import (
@@ -38,6 +39,7 @@ func main() {
 		telPath   = flag.String("telemetry", "", "write a BENCH_telemetry.json snapshot of the run to this file")
 		telEvents = flag.String("telemetry-events", "", "stream telemetry events (JSON lines) to this file")
 		fps       = flag.Float64("fps", 30, "frame-deadline target in frames per second (with -telemetry)")
+		stages    = flag.Bool("stages", false, "run a pipelined 1080p client session and dump per-stage p50/p99 plus the overlap ratio")
 	)
 	flag.Parse()
 	if *workers > 0 {
@@ -64,6 +66,8 @@ func main() {
 		for _, id := range nerve.ExperimentIDs() {
 			fmt.Println(id)
 		}
+	case *stages:
+		runErr = runStages(os.Stdout, *quick, *seed)
 	case *all:
 		runErr = nerve.RunAllExperiments(opts, os.Stdout)
 	case *exp != "":

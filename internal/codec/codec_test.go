@@ -34,8 +34,17 @@ func TestDCTRoundTrip(t *testing.T) {
 		coef[i] *= xf.invScale[i] / xf.fwdScale[i]
 	}
 	xf.idct(&coef, &rec)
+	// The integer set carries pixels at Q4 and rounds after every Q15
+	// multiply, so its round trip is only accurate to a few Q4 LSBs —
+	// far below any quantiser step (levels are gated separately at ±1
+	// by TestIntQuantLevelEquivalence); the float sets reconstruct to
+	// ~1e-5.
+	tol := 1e-3
+	if IntTransformsForced {
+		tol = 4.0 / 16
+	}
 	for i := range blk {
-		if math.Abs(float64(blk[i]-rec[i])) > 1e-3 {
+		if math.Abs(float64(blk[i]-rec[i])) > tol {
 			t.Fatalf("DCT round trip error at %d: %v vs %v", i, blk[i], rec[i])
 		}
 	}

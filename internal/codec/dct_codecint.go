@@ -1,0 +1,16 @@
+//go:build codecint && !codecref
+
+package codec
+
+// defaultTransforms selects the integer fixed-point AAN transforms when
+// built with -tags codecint — bit-identical coefficients on every platform
+// regardless of FMA contraction or float reassociation (dct_int.go).
+func defaultTransforms() transformSet { return intTransforms() }
+
+// RefTransformsForced reports whether this binary was built with
+// -tags codecref (reference DCT forced).
+const RefTransformsForced = false
+
+// IntTransformsForced reports whether this binary was built with
+// -tags codecint (integer DCT forced).
+const IntTransformsForced = true

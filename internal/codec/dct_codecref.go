@@ -10,3 +10,7 @@ func defaultTransforms() transformSet { return refTransforms() }
 // RefTransformsForced reports whether this binary was built with
 // -tags codecref (reference DCT forced).
 const RefTransformsForced = true
+
+// IntTransformsForced reports whether this binary was built with
+// -tags codecint (integer DCT forced). codecref wins when both are set.
+const IntTransformsForced = false

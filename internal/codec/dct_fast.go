@@ -1,13 +1,19 @@
-//go:build !codecref
+//go:build !codecref && !codecint
 
 package codec
 
 // defaultTransforms selects the AAN fast transforms in normal builds. The
 // codecref build tag swaps in the basis-matrix reference transforms — an
-// escape hatch for isolating suspected fast-path numerics (bitstreams stay
-// interchangeable between the two builds; see transformSet).
+// escape hatch for isolating suspected fast-path numerics — and the
+// codecint tag swaps in the integer fixed-point transforms for
+// deterministic cross-platform bitstreams (bitstreams stay interchangeable
+// across all three builds; see transformSet).
 func defaultTransforms() transformSet { return aanTransforms() }
 
 // RefTransformsForced reports whether this binary was built with
 // -tags codecref (reference DCT forced).
 const RefTransformsForced = false
+
+// IntTransformsForced reports whether this binary was built with
+// -tags codecint (integer DCT forced).
+const IntTransformsForced = false

@@ -1,0 +1,208 @@
+package codec
+
+// Integer fixed-point AAN transforms: the same butterfly flow graphs as
+// fdct8/idct8 with every rotation constant quantised to Q15 and every value
+// carried as an integer. Pixels/residuals enter at Q4 (sixteenths) and
+// coefficients at Q8 (256ths), so the only nondeterminism of the float path
+// — FMA contraction, compiler reassociation — is gone: the integer
+// transforms produce identical bits on every platform, which is what makes
+// them the transform tier for cross-device bitstream reproducibility
+// (DESIGN.md §10) and for SoCs whose float units are the bottleneck.
+//
+// The diagonal output scaling is identical to the float AAN set (the
+// constants approximate the same flow graph), so intTransforms reuses the
+// AAN fwdScale/invScale and the folded quant tables; bitstreams remain
+// interchangeable with both other sets. Accuracy contract: quantised
+// levels match the AAN set within ±1, and only on rounding boundaries
+// (TestIntQuantLevelEquivalence); end-to-end PSNR parity within 0.05 dB
+// (TestEncodePSNRParityWithInt).
+//
+// Lane widths: values fit int32 at every node (worst-case 2-D coefficient
+// ≈ 2¹⁹ at Q4; butterfly intermediates stay under 2²²); products against
+// Q15 constants use the 64-bit multiply, single-cycle on every 64-bit
+// target. Descale happens immediately after each multiply, so lanes
+// descaled to Q0 fit int16 — the layout a packed int16×4 SWAR variant
+// would use.
+const (
+	intConstBits = 15
+	intHalf      = 1 << (intConstBits - 1)
+
+	cF1 = 23170 // aanF1 · 2¹⁵ (c4)
+	cF2 = 12540 // aanF2 · 2¹⁵ (c6)
+	cF3 = 17734 // aanF3 · 2¹⁵ (c2 − c6)
+	cF4 = 42813 // aanF4 · 2¹⁵ (c2 + c6)
+
+	cI1 = 46341  // aanI1 · 2¹⁵ (√2)
+	cI2 = 60547  // aanI2 · 2¹⁵
+	cI3 = 35468  // aanI3 · 2¹⁵
+	cI4 = -85627 // aanI4 · 2¹⁵
+)
+
+// mulQ15 multiplies an integer lane by a Q15 rotation constant and rounds
+// back to the lane's scale.
+func mulQ15(a int32, c int64) int32 {
+	p := int64(a)*c + intHalf
+	return int32(p >> intConstBits)
+}
+
+// fdct8Int is fdct8's flow graph in integer arithmetic. in is quantised to
+// Q4 on entry (residuals are float only because the plane type is); out is
+// the same scaled coefficient domain as fdct8's, descaled from Q4 once at
+// the end.
+func fdct8Int(in, out *[64]float32) {
+	var blk [64]int32
+	for i := range blk {
+		blk[i] = roundLevel(in[i] * 16)
+	}
+	// Rows.
+	for y := 0; y < 8; y++ {
+		r := blk[y*8 : y*8+8]
+		tmp0, tmp7 := r[0]+r[7], r[0]-r[7]
+		tmp1, tmp6 := r[1]+r[6], r[1]-r[6]
+		tmp2, tmp5 := r[2]+r[5], r[2]-r[5]
+		tmp3, tmp4 := r[3]+r[4], r[3]-r[4]
+
+		tmp10, tmp13 := tmp0+tmp3, tmp0-tmp3
+		tmp11, tmp12 := tmp1+tmp2, tmp1-tmp2
+		r[0] = tmp10 + tmp11
+		r[4] = tmp10 - tmp11
+		z1 := mulQ15(tmp12+tmp13, cF1)
+		r[2] = tmp13 + z1
+		r[6] = tmp13 - z1
+
+		tmp10 = tmp4 + tmp5
+		tmp11 = tmp5 + tmp6
+		tmp12 = tmp6 + tmp7
+		z5 := mulQ15(tmp10-tmp12, cF2)
+		z2 := mulQ15(tmp10, cF3) + z5
+		z4 := mulQ15(tmp12, cF4) + z5
+		z3 := mulQ15(tmp11, cF1)
+		z11, z13 := tmp7+z3, tmp7-z3
+		r[5] = z13 + z2
+		r[3] = z13 - z2
+		r[1] = z11 + z4
+		r[7] = z11 - z4
+	}
+	// Columns.
+	for x := 0; x < 8; x++ {
+		c := blk[x:]
+		tmp0, tmp7 := c[0]+c[56], c[0]-c[56]
+		tmp1, tmp6 := c[8]+c[48], c[8]-c[48]
+		tmp2, tmp5 := c[16]+c[40], c[16]-c[40]
+		tmp3, tmp4 := c[24]+c[32], c[24]-c[32]
+
+		tmp10, tmp13 := tmp0+tmp3, tmp0-tmp3
+		tmp11, tmp12 := tmp1+tmp2, tmp1-tmp2
+		c[0] = tmp10 + tmp11
+		c[32] = tmp10 - tmp11
+		z1 := mulQ15(tmp12+tmp13, cF1)
+		c[16] = tmp13 + z1
+		c[48] = tmp13 - z1
+
+		tmp10 = tmp4 + tmp5
+		tmp11 = tmp5 + tmp6
+		tmp12 = tmp6 + tmp7
+		z5 := mulQ15(tmp10-tmp12, cF2)
+		z2 := mulQ15(tmp10, cF3) + z5
+		z4 := mulQ15(tmp12, cF4) + z5
+		z3 := mulQ15(tmp11, cF1)
+		z11, z13 := tmp7+z3, tmp7-z3
+		c[40] = z13 + z2
+		c[24] = z13 - z2
+		c[8] = z11 + z4
+		c[56] = z11 - z4
+	}
+	for i := range blk {
+		out[i] = float32(blk[i]) * 0.0625
+	}
+}
+
+// idct8Int is idct8's flow graph in integer arithmetic at Q8: dequantised
+// coefficients (already invScale-scaled, magnitude ≤ ~10³) are quantised to
+// 256ths on entry and the reconstruction descales once on exit. The extra
+// four fractional bits over the forward pass push the rounding noise well
+// under the Q15 constant error, which dominates: ~7·10⁻⁵ of the
+// reconstruction magnitude, a quarter grey level on full-scale blocks.
+func idct8Int(in, out *[64]float32) {
+	var blk [64]int32
+	for i := range blk {
+		blk[i] = roundLevel(in[i] * 256)
+	}
+	// Columns.
+	for x := 0; x < 8; x++ {
+		c := blk[x:]
+		tmp10 := c[0] + c[32]
+		tmp11 := c[0] - c[32]
+		tmp13 := c[16] + c[48]
+		tmp12 := mulQ15(c[16]-c[48], cI1) - tmp13
+		tmp0, tmp3 := tmp10+tmp13, tmp10-tmp13
+		tmp1, tmp2 := tmp11+tmp12, tmp11-tmp12
+
+		z13 := c[40] + c[24]
+		z10 := c[40] - c[24]
+		z11 := c[8] + c[56]
+		z12 := c[8] - c[56]
+		tmp7 := z11 + z13
+		tmp11 = mulQ15(z11-z13, cI1)
+		z5 := mulQ15(z10+z12, cI2)
+		tmp10 = mulQ15(z12, cI3) - z5
+		tmp12 = mulQ15(z10, cI4) + z5
+		tmp6 := tmp12 - tmp7
+		tmp5 := tmp11 - tmp6
+		tmp4 := tmp10 + tmp5
+
+		c[0] = tmp0 + tmp7
+		c[56] = tmp0 - tmp7
+		c[8] = tmp1 + tmp6
+		c[48] = tmp1 - tmp6
+		c[16] = tmp2 + tmp5
+		c[40] = tmp2 - tmp5
+		c[32] = tmp3 + tmp4
+		c[24] = tmp3 - tmp4
+	}
+	// Rows.
+	for y := 0; y < 8; y++ {
+		r := blk[y*8 : y*8+8]
+		tmp10 := r[0] + r[4]
+		tmp11 := r[0] - r[4]
+		tmp13 := r[2] + r[6]
+		tmp12 := mulQ15(r[2]-r[6], cI1) - tmp13
+		tmp0, tmp3 := tmp10+tmp13, tmp10-tmp13
+		tmp1, tmp2 := tmp11+tmp12, tmp11-tmp12
+
+		z13 := r[5] + r[3]
+		z10 := r[5] - r[3]
+		z11 := r[1] + r[7]
+		z12 := r[1] - r[7]
+		tmp7 := z11 + z13
+		tmp11 = mulQ15(z11-z13, cI1)
+		z5 := mulQ15(z10+z12, cI2)
+		tmp10 = mulQ15(z12, cI3) - z5
+		tmp12 = mulQ15(z10, cI4) + z5
+		tmp6 := tmp12 - tmp7
+		tmp5 := tmp11 - tmp6
+		tmp4 := tmp10 + tmp5
+
+		r[0] = tmp0 + tmp7
+		r[7] = tmp0 - tmp7
+		r[1] = tmp1 + tmp6
+		r[6] = tmp1 - tmp6
+		r[2] = tmp2 + tmp5
+		r[5] = tmp2 - tmp5
+		r[4] = tmp3 + tmp4
+		r[3] = tmp3 - tmp4
+	}
+	const invQ8 = float32(1) / 256
+	for i := range blk {
+		out[i] = float32(blk[i]) * invQ8
+	}
+}
+
+// intTransforms returns the integer AAN transform set. The diagonal scales
+// are the float AAN set's — the Q15 constants approximate the same flow
+// graph — so the folded quant tables come out identical and bitstreams stay
+// interchangeable.
+func intTransforms() transformSet {
+	a := aanTransforms()
+	return newTransformSet(fdct8Int, idct8Int, a.fwdScale, a.invScale)
+}

@@ -1,0 +1,185 @@
+package codec
+
+import (
+	"math"
+	"testing"
+)
+
+// TestIntForwardMatchesRef: the integer forward DCT, descaled, must agree
+// with the orthonormal reference to within the Q2-input + Q13-rotation
+// budget (≤ 0.5 in the true-coefficient domain) across the adversarial
+// corner blocks (impulses, ±255 checkerboards, flats) and random residuals.
+func TestIntForwardMatchesRef(t *testing.T) {
+	ts := intTransforms()
+	var worst float64
+	for _, blk := range diffBlocks(21) {
+		var fast, ref [64]float32
+		fdct8Int(&blk, &fast)
+		fdct8Ref(&blk, &ref)
+		for i := range fast {
+			d := math.Abs(float64(fast[i]/ts.fwdScale[i] - ref[i]))
+			if d > worst {
+				worst = d
+			}
+		}
+	}
+	t.Logf("max forward error %g", worst)
+	if worst > 0.5 {
+		t.Fatalf("integer forward deviates from reference by %g > 0.5", worst)
+	}
+}
+
+// TestIntInverseMatchesRef: the integer inverse on invScale-scaled
+// coefficients must reconstruct within a quarter grey level of the
+// reference across full-scale coefficient blocks (the error is relative —
+// Q15 constant quantisation, ~7·10⁻⁵ of the reconstruction magnitude, and
+// these blocks drive it to ±2040). Frequency-domain impulses are included,
+// so every basis function's rotation path is exercised.
+func TestIntInverseMatchesRef(t *testing.T) {
+	ts := intTransforms()
+	var worst float64
+	for _, coef := range diffBlocks(22) {
+		var scaled, fast, ref [64]float32
+		for i := range scaled {
+			scaled[i] = coef[i] * ts.invScale[i]
+		}
+		idct8Int(&scaled, &fast)
+		idct8Ref(&coef, &ref)
+		for i := range fast {
+			d := math.Abs(float64(fast[i] - ref[i]))
+			if d > worst {
+				worst = d
+			}
+		}
+	}
+	t.Logf("max inverse error %g", worst)
+	if worst > 0.25 {
+		t.Fatalf("integer inverse deviates from reference by %g > 1/4", worst)
+	}
+}
+
+// TestIntDeterministic: the integer transforms must be pure functions of
+// their input bits — two runs over the corner corpus produce identical
+// outputs (the property the codecint build tag exists for; the float AAN
+// path only promises 1e-3 agreement with itself across platforms).
+func TestIntDeterministic(t *testing.T) {
+	for _, blk := range diffBlocks(23)[:32] {
+		var a, b [64]float32
+		fdct8Int(&blk, &a)
+		fdct8Int(&blk, &b)
+		if a != b {
+			t.Fatal("fdct8Int is not deterministic")
+		}
+		idct8Int(&blk, &a)
+		idct8Int(&blk, &b)
+		if a != b {
+			t.Fatal("idct8Int is not deterministic")
+		}
+	}
+}
+
+// TestIntQuantLevelEquivalence: quantised levels (the bitstream) from the
+// integer transforms must match the AAN float set within ±1, and off-by-one
+// only where the true coefficient sits near a rounding boundary — the
+// boundary window is the combined integer+float coefficient error scaled
+// into level units.
+func TestIntQuantLevelEquivalence(t *testing.T) {
+	intSet := intTransforms()
+	aan := aanTransforms()
+	setXF := func(ts transformSet) func() {
+		old := xf
+		xf = ts
+		return func() { xf = old }
+	}
+	blocks := diffBlocks(24)
+	for _, q := range []float32{1, 2, 4, 8} {
+		mismatch, boundary := 0, 0
+		for _, blk := range blocks {
+			var cI, cA [64]float32
+			var lI, lA [64]int32
+			restore := setXF(intSet)
+			fdct8Int(&blk, &cI)
+			quantise(&cI, q, &lI)
+			restore()
+			restore = setXF(aan)
+			fdct8(&blk, &cA)
+			quantise(&cA, q, &lA)
+			restore()
+			for i := range lI {
+				if lI[i] == lA[i] {
+					continue
+				}
+				d := lI[i] - lA[i]
+				if d < 0 {
+					d = -d
+				}
+				if d > 1 {
+					mismatch++
+					continue
+				}
+				// Off-by-one is legitimate only near a half-step: the
+				// integer path's coefficient error is ≤ 0.5 true units,
+				// i.e. 0.5/(q·weight) levels.
+				v := float64(cA[i]) / (float64(q) * float64(quantWeight[i]) * float64(aan.fwdScale[i]))
+				window := 0.5/(float64(q)*float64(quantWeight[i])) + 2e-3
+				if math.Abs(v-math.Round(v)-0.5) < window || math.Abs(v-math.Round(v)+0.5) < window {
+					boundary++
+				} else {
+					mismatch++
+				}
+			}
+		}
+		if mismatch > 0 {
+			t.Fatalf("q=%v: %d level mismatches beyond rounding boundaries (%d boundary cases)", q, mismatch, boundary)
+		}
+		t.Logf("q=%v: levels equivalent (%d boundary off-by-ones tolerated)", q, boundary)
+	}
+}
+
+// TestEncodePSNRParityWithInt is the end-to-end gate for the integer tier:
+// the full encode/decode pipeline under the integer transforms must land
+// within 0.05 dB of the float AAN transforms on every golden frame.
+func TestEncodePSNRParityWithInt(t *testing.T) {
+	setXF := func(ts transformSet) func() {
+		old := xf
+		xf = ts
+		return func() { xf = old }
+	}
+	frames := testClip(t, 10)
+	cfg := Config{W: 160, H: 96, GOP: 5, TargetBitrate: 600e3}
+	restore := setXF(intTransforms())
+	ints := encodeDecodePSNRs(t, frames, cfg)
+	restore()
+	restore = setXF(aanTransforms())
+	fast := encodeDecodePSNRs(t, frames, cfg)
+	restore()
+	for i := range ints {
+		if d := math.Abs(ints[i] - fast[i]); d > 0.05 {
+			t.Fatalf("frame %d: PSNR %.3f dB (int) vs %.3f dB (AAN): |Δ| %.3f > 0.05 dB",
+				i, ints[i], fast[i], d)
+		}
+	}
+	t.Logf("PSNR parity on %d frames: int %.3f..%.3f dB", len(ints), ints[0], ints[len(ints)-1])
+}
+
+func BenchmarkFDCT8Int(b *testing.B) {
+	blk := randomBlocks(25, 1)[0]
+	var out [64]float32
+	b.SetBytes(64)
+	for i := 0; i < b.N; i++ {
+		fdct8Int(&blk, &out)
+	}
+}
+
+func BenchmarkIDCT8Int(b *testing.B) {
+	ts := intTransforms()
+	blk := randomBlocks(26, 1)[0]
+	var scaled, out [64]float32
+	for i := range scaled {
+		scaled[i] = blk[i] * ts.invScale[i]
+	}
+	b.SetBytes(64)
+	for i := 0; i < b.N; i++ {
+		idct8Int(&scaled, &out)
+	}
+}

@@ -92,6 +92,13 @@ type ClientConfig struct {
 	EnableRecovery bool
 	// EnableSR turns super-resolution on.
 	EnableSR bool
+	// FixedPoint selects the integer/SWAR kernel tier end to end: the
+	// recovery model runs its byte-plane warp path (recovery.Config
+	// .FixedPoint) and the SR stage uses the byte-plane head (sr.NewFast).
+	// Output differs from the float tier by at most a few grey levels
+	// (see the tier parity tests in those packages) at a fraction of the
+	// one-core frame time.
+	FixedPoint bool
 	// Device is the cost model used for the latency/energy accounting
 	// (default iPhone 12).
 	Device *device.Model
@@ -144,13 +151,19 @@ type FrameResult struct {
 	ProcessSeconds float64
 }
 
+// upscaler is the SR stage contract both tiers satisfy (sr.SuperResolver
+// and sr.FastUpscaler).
+type upscaler interface {
+	Upscale(lr *vmath.Plane) *vmath.Plane
+}
+
 // Client is the mobile client engine: decoder + recovery + SR with
 // temporal state, fed one frame slot at a time in playout order.
 type Client struct {
 	cfg ClientConfig
 	dec *codec.Decoder
 	rec *recovery.Recoverer
-	srr *sr.SuperResolver
+	srr upscaler
 	ext *edgecode.Extractor // to derive codes of locally produced frames
 
 	prevOut   *vmath.Plane // previous displayed frame at transmission res
@@ -176,12 +189,16 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	c := &Client{
 		cfg:     cfg,
 		dec:     codec.NewDecoder(codec.Config{W: cfg.W, H: cfg.H}),
-		rec:     recovery.New(recovery.Config{OutW: cfg.W, OutH: cfg.H}),
+		rec:     recovery.New(recovery.Config{OutW: cfg.W, OutH: cfg.H, FixedPoint: cfg.FixedPoint}),
 		ext:     edgecode.NewExtractor(0, 0),
 		classes: make(map[FrameClass]int),
 	}
 	if cfg.EnableSR && (cfg.OutW != cfg.W || cfg.OutH != cfg.H) {
-		c.srr = sr.New(sr.Config{OutW: cfg.OutW, OutH: cfg.OutH})
+		if cfg.FixedPoint {
+			c.srr = sr.NewFast(sr.Config{OutW: cfg.OutW, OutH: cfg.OutH})
+		} else {
+			c.srr = sr.New(sr.Config{OutW: cfg.OutW, OutH: cfg.OutH})
+		}
 	}
 	return c, nil
 }
@@ -219,10 +236,35 @@ type Input struct {
 // Next consumes the data available for the next playout slot and returns
 // the displayed frame. It never fails to produce a frame: a complete loss
 // yields a recovered (or reused) frame.
+//
+// Next runs the two stages of the frame graph back to back on the calling
+// goroutine; Pipeline overlaps them across consecutive frames with
+// bit-identical output.
 func (c *Client) Next(in Input) (*FrameResult, error) {
 	// The whole of Next is one playout slot's processing: decode plus
 	// recovery/SR. This is the span the per-frame deadline measures.
 	defer telemetry.FrameStart().Done()
+	res, outTx, err := c.stageIngest(in)
+	if err != nil {
+		return nil, err
+	}
+	res.Frame = c.stageEnhance(outTx)
+	return res, nil
+}
+
+// stageIngest is stage A of the frame graph: decode (or conceal/recover)
+// the slot into a frame at transmission resolution, feed it back to the
+// decoder as the next reference, and advance all temporal state — frame
+// index, class counters, previous-frame chain, code chain. After it
+// returns, the client is ready to ingest the next slot; the returned plane
+// only remains to be enhanced (stage B), which reads nothing but the plane
+// itself. That separation is what lets Pipeline run ingest(n+1) while
+// enhance(n) is still in flight.
+//
+// The returned FrameResult is complete except for Frame: the class is
+// final (including the ClassSR promotion — whether SR runs is a static
+// property of the client) and the device-time model is fully charged.
+func (c *Client) stageIngest(in Input) (*FrameResult, *vmath.Plane, error) {
 	res := &FrameResult{Index: c.frameIdx}
 	dev := c.cfg.Device
 	c.total++
@@ -241,7 +283,7 @@ func (c *Client) Next(in Input) (*FrameResult, error) {
 	default:
 		dr, err := c.dec.Decode(in.Encoded, in.Received)
 		if err != nil {
-			return nil, fmt.Errorf("core: decode frame %d: %w", c.frameIdx, err)
+			return nil, nil, fmt.Errorf("core: decode frame %d: %w", c.frameIdx, err)
 		}
 		res.ProcessSeconds += dev.DecodeLatency(nearestRung(c.cfg.W, c.cfg.H))
 		if dr.Complete() {
@@ -264,23 +306,20 @@ func (c *Client) Next(in Input) (*FrameResult, error) {
 	c.dec.SetReference(outTx)
 	vmath.Put(staleRef)
 
-	// Super-resolution stage.
-	display := outTx
 	if c.srr != nil {
-		display = c.srr.Upscale(outTx)
 		res.ProcessSeconds += dev.EnhanceLatency()
 		if res.Class == ClassDecoded {
 			res.Class = ClassSR
 		}
-	} else if c.cfg.OutW != c.cfg.W || c.cfg.OutH != c.cfg.H {
-		display = vmath.ResizeBilinearInto(vmath.Get(c.cfg.OutW, c.cfg.OutH), outTx)
 	}
 
 	// Advance temporal state. The plane rotated out of prevPrev is no
-	// longer referenced by the decoder (two SetReference calls ago) or the
-	// recovery model (which never retains its inputs); it can go back to
-	// the pool unless it escaped to the caller as a displayed frame, which
-	// happens exactly when display aliases outTx (no SR stage, no resize).
+	// longer referenced by the decoder (two SetReference calls ago), the
+	// recovery model (which never retains its inputs) or a pending enhance
+	// stage (which reads the newer prevOut and was joined a frame ago); it
+	// can go back to the pool unless it escaped to the caller as a
+	// displayed frame, which happens exactly when enhance returns its
+	// input unchanged (no SR stage, no resize).
 	if old := c.prevPrev; old != nil && (c.srr != nil || c.cfg.OutW != c.cfg.W || c.cfg.OutH != c.cfg.H) {
 		vmath.Put(old)
 	}
@@ -295,8 +334,22 @@ func (c *Client) Next(in Input) (*FrameResult, error) {
 	}
 	c.frameIdx++
 	c.classes[res.Class]++
-	res.Frame = display
-	return res, nil
+	return res, outTx, nil
+}
+
+// stageEnhance is stage B of the frame graph: lift the transmission-
+// resolution frame to display resolution (SR head or plain bilinear). It
+// reads only outTx and package-level immutable state, touches no client
+// temporal state, and is deterministic for any worker-pool size — the two
+// properties Pipeline relies on to overlap it with the next ingest.
+func (c *Client) stageEnhance(outTx *vmath.Plane) *vmath.Plane {
+	if c.srr != nil {
+		return c.srr.Upscale(outTx)
+	}
+	if c.cfg.OutW != c.cfg.W || c.cfg.OutH != c.cfg.H {
+		return vmath.ResizeBilinearInto(vmath.Get(c.cfg.OutW, c.cfg.OutH), outTx)
+	}
+	return outTx
 }
 
 // conceal produces a frame when input is missing or partial.

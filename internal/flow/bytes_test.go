@@ -1,0 +1,168 @@
+package flow
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"nerve/internal/vmath"
+)
+
+// smoothBytePlane builds a random low-frequency byte image: block noise
+// upsampled bilinearly, so block matching has real structure to lock onto.
+func smoothBytePlane(w, h int, seed int64) *vmath.BytePlane {
+	rng := rand.New(rand.NewSource(seed))
+	coarse := vmath.NewBytePlane(w/8+2, h/8+2)
+	for i := range coarse.Pix {
+		coarse.Pix[i] = uint8(rng.Intn(256))
+	}
+	out := vmath.NewBytePlane(w, h)
+	vmath.ResizeBilinearBytesInto(out, coarse)
+	return out
+}
+
+// shiftBytes translates src by (dx, dy) with replicate padding:
+// out(x, y) = src(x−dx, y−dy).
+func shiftBytes(src *vmath.BytePlane, dx, dy int) *vmath.BytePlane {
+	out := vmath.NewBytePlane(src.W, src.H)
+	for y := 0; y < src.H; y++ {
+		for x := 0; x < src.W; x++ {
+			out.Pix[y*src.W+x] = src.AtClamp(x-dx, y-dy)
+		}
+	}
+	return out
+}
+
+// TestEstimateBytesRecoversTranslation: a global translation must come back
+// as (≈dx, ≈dy) in the interior (the convention: cur(x) ≈ prev(x+U)).
+func TestEstimateBytesRecoversTranslation(t *testing.T) {
+	const w, h, dx, dy = 160, 120, 5, -3
+	prev := smoothBytePlane(w, h, 1)
+	cur := shiftBytes(prev, dx, dy)
+	f := EstimateBytes(prev, cur, Options{Levels: 3, Search: 4})
+	defer f.Release()
+	var sumU, sumV float64
+	var n int
+	for y := h / 4; y < 3*h/4; y++ {
+		for x := w / 4; x < 3*w/4; x++ {
+			u, v, _ := f.At(x, y)
+			sumU += float64(u)
+			sumV += float64(v)
+			n++
+		}
+	}
+	meanU, meanV := sumU/float64(n), sumV/float64(n)
+	if math.Abs(meanU-(-dx)) > 0.75 || math.Abs(meanV-(-dy)) > 0.75 {
+		t.Fatalf("mean interior flow (%.2f, %.2f), want ≈ (%d, %d)", meanU, meanV, -dx, -dy)
+	}
+}
+
+// TestEstimateBytesAgreesWithFloat: on byte-valued content the byte and
+// float matchers see (almost) the same pyramid, so their fields must agree
+// closely — the byte tier is a faster implementation of the same
+// algorithm, not a different estimator.
+func TestEstimateBytesAgreesWithFloat(t *testing.T) {
+	const w, h = 128, 96
+	prevB := smoothBytePlane(w, h, 2)
+	curB := shiftBytes(prevB, 3, 2)
+	prevF := vmath.NewPlane(w, h)
+	curF := vmath.NewPlane(w, h)
+	prevB.ToPlane(prevF)
+	curB.ToPlane(curF)
+	opts := Options{Levels: 3, Search: 4}
+	fb := EstimateBytes(prevB, curB, opts)
+	defer fb.Release()
+	ff := Estimate(prevF, curF, opts)
+	defer ff.Release()
+	var diff float64
+	for i := range fb.U {
+		diff += math.Abs(float64(fb.U[i]-ff.U[i])) + math.Abs(float64(fb.V[i]-ff.V[i]))
+	}
+	diff /= float64(len(fb.U))
+	if diff > 0.5 {
+		t.Fatalf("byte and float flow differ by %.3f px on average (want ≤ 0.5)", diff)
+	}
+}
+
+// TestBlockSADBytesFastPathMatchesScalar forces both the SWAR and scalar
+// paths over the same interior blocks and checks bit-identical sums —
+// candidate ordering in the search must not depend on which path ran.
+func TestBlockSADBytesFastPathMatchesScalar(t *testing.T) {
+	const w, h = 64, 48
+	rng := rand.New(rand.NewSource(3))
+	prev := vmath.NewBytePlane(w, h)
+	cur := vmath.NewBytePlane(w, h)
+	for i := range prev.Pix {
+		prev.Pix[i] = uint8(rng.Intn(256))
+		cur.Pix[i] = uint8(rng.Intn(256))
+	}
+	scalar := func(x0, y0, u, v int) float64 {
+		var sad float64
+		for y := 0; y < 8; y++ {
+			py := y0 + y
+			if py >= h {
+				break
+			}
+			for x := 0; x < 8; x++ {
+				px := x0 + x
+				if px >= w {
+					break
+				}
+				d := float64(cur.Pix[py*w+px]) - float64(prev.AtClamp(px+u, py+v))
+				sad += math.Abs(d)
+			}
+		}
+		return sad
+	}
+	for x0 := 8; x0+16 < w; x0 += 8 {
+		for y0 := 8; y0+16 < h; y0 += 8 {
+			for _, d := range [][2]int{{0, 0}, {3, 2}, {-4, -3}, {4, 4}, {-2, 5}} {
+				got := blockSADBytes(prev, cur, x0, y0, d[0], d[1], 8, math.Inf(1))
+				want := scalar(x0, y0, d[0], d[1])
+				if got != want {
+					t.Fatalf("block (%d,%d) disp (%d,%d): SWAR SAD %v != scalar %v",
+						x0, y0, d[0], d[1], got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestDownsampleBytes2x2Rounds: the byte pyramid's box filter rounds to
+// nearest, exactly.
+func TestDownsampleBytes2x2Rounds(t *testing.T) {
+	p := vmath.NewBytePlane(4, 2)
+	copy(p.Pix, []uint8{0, 1, 10, 20, 2, 2, 30, 40})
+	d := downsampleBytes2x2(p)
+	defer vmath.PutBytes(d)
+	// (0+1+2+2+2)/4 = 1.25 → 1; (10+20+30+40+2)/4 = 25.5 → 25 (floor of +2 bias).
+	if d.Pix[0] != 1 || d.Pix[1] != 25 {
+		t.Fatalf("downsample got [%d %d], want [1 25]", d.Pix[0], d.Pix[1])
+	}
+}
+
+func BenchmarkEstimateBytes480x270(b *testing.B) {
+	prev := smoothBytePlane(480, 270, 4)
+	cur := shiftBytes(prev, 3, 1)
+	opts := Options{Levels: 3, Search: 3, ZeroBias: 0.4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := EstimateBytes(prev, cur, opts)
+		f.Release()
+	}
+}
+
+func BenchmarkEstimateFloat480x270(b *testing.B) {
+	prevB := smoothBytePlane(480, 270, 4)
+	curB := shiftBytes(prevB, 3, 1)
+	prev := vmath.NewPlane(480, 270)
+	cur := vmath.NewPlane(480, 270)
+	prevB.ToPlane(prev)
+	curB.ToPlane(cur)
+	opts := Options{Levels: 3, Search: 3, ZeroBias: 0.4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := Estimate(prev, cur, opts)
+		f.Release()
+	}
+}

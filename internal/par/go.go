@@ -1,0 +1,46 @@
+package par
+
+import "fmt"
+
+// Go runs fn concurrently when the global worker budget has a free slot and
+// returns a join func that blocks until fn has finished. It is the pool's
+// task-parallel primitive — used by the frame pipeline (internal/core) to
+// overlap whole stages, where For/ForRows overlap loop iterations — and
+// draws from the same Workers()-1 budget, so a pipeline stage and the data-
+// parallel loops inside it never oversubscribe the machine together.
+//
+// When the budget is spent (or the pool size is 1), Go degrades exactly like
+// a nested For: fn runs inline on the first join() call, preserving the
+// sequential schedule and its bit-identical results. join re-raises any
+// panic from fn on the joining goroutine, and is idempotent — every call
+// after the first returns immediately.
+func Go(fn func()) (join func()) {
+	if reserve(1) == 0 {
+		done := false
+		return func() {
+			if done {
+				return
+			}
+			done = true
+			fn()
+		}
+	}
+	ch := make(chan any, 1)
+	go func() {
+		// release before the signalling send, so a returned join() implies
+		// the budget slot is free again.
+		defer func() { ch <- recover() }()
+		defer release(1)
+		fn()
+	}()
+	joined := false
+	return func() {
+		if joined {
+			return
+		}
+		joined = true
+		if v := <-ch; v != nil {
+			panic(fmt.Sprintf("par: Go task panicked: %v", v))
+		}
+	}
+}

@@ -32,7 +32,6 @@ import (
 	"nerve/internal/flow"
 	"nerve/internal/telemetry"
 	"nerve/internal/vmath"
-	"nerve/internal/warp"
 )
 
 // Config parameterises a Recoverer.
@@ -51,6 +50,15 @@ type Config struct {
 	// HistoryWeight blends the temporal state H into low-confidence
 	// output (default 0.15).
 	HistoryWeight float32
+	// FixedPoint selects the integer tier for the heavy kernels: byte-plane
+	// work-resolution resampling, SWAR-SAD block flow (flow.EstimateBytes)
+	// and the Q15 SWAR backward warp (warp.BackwardBytesInto). The
+	// mismatch/inpaint/enhance branches stay float — they run on the small
+	// work plane and their cost is hole-count-, not area-, bound. The tiers
+	// produce near-identical output (TestFixedPointHintedParity); fixed
+	// point exists for the frame deadline, trading ≤1 LSB kernel error for
+	// roughly half the recovery latency.
+	FixedPoint bool
 }
 
 func (c Config) withDefaults() Config {
@@ -98,14 +106,22 @@ type Input struct {
 // across calls; feed frames in playout order and Reset at scene changes or
 // stream restarts.
 type Recoverer struct {
-	cfg     Config
-	history *vmath.Plane // H at work resolution; persistent pooled plane
+	cfg      Config
+	history  *vmath.Plane     // H at work resolution; persistent pooled plane
+	historyB *vmath.BytePlane // fixed-tier H; see finishFixed
 
 	// Per-frame scratch reused across calls (never escapes).
 	holes   []int
 	mismExt *edgecode.Extractor
 	mismA   []bool
 	mismB   []bool
+	mismC   []bool
+
+	// prevWork/prevWorkB hold I_{t-1} at work resolution between
+	// prepPrevWork and warpPrev within one Recover call (exactly one is
+	// non-nil depending on the tier; see fixed.go).
+	prevWork  *vmath.Plane
+	prevWorkB *vmath.BytePlane
 }
 
 // New returns a Recoverer for the configuration.
@@ -120,6 +136,8 @@ func (r *Recoverer) Config() Config { return r.cfg }
 func (r *Recoverer) Reset() {
 	vmath.Put(r.history)
 	r.history = nil
+	vmath.PutBytes(r.historyB)
+	r.historyB = nil
 }
 
 // Reuse is the baseline that simply replays the previous frame. The result
@@ -161,17 +179,13 @@ func (r *Recoverer) Recover(in Input) *vmath.Plane {
 // those regions are re-synthesised by edge-guided inpainting).
 func (r *Recoverer) recoverHinted(in Input) *vmath.Plane {
 	cfg := r.cfg
-	prevWork := vmath.ResizeBilinearInto(vmath.Get(cfg.WorkW, cfg.WorkH), in.Prev)
+	r.prepPrevWork(in.Prev)
 
 	// Base motion: frame-based flow extrapolated one step when I_{t-2}
 	// is available (one step of constant velocity is the field itself),
 	// otherwise zero motion.
-	var base *flow.Field
-	if in.PrevPrev != nil {
-		prevPrevWork := vmath.ResizeBilinearInto(vmath.Get(cfg.WorkW, cfg.WorkH), in.PrevPrev)
-		base = flow.Estimate(prevPrevWork, prevWork, flow.Options{Levels: 3, Search: 3, ZeroBias: 0.4})
-		vmath.Put(prevPrevWork)
-	} else {
+	base := r.baseFlow(in)
+	if base == nil {
 		base = flow.NewField(cfg.WorkW, cfg.WorkH)
 		for i := range base.Conf {
 			base.Conf[i] = 0.5
@@ -208,11 +222,8 @@ func (r *Recoverer) recoverHinted(in Input) *vmath.Plane {
 	// Snap near-integer vectors: exact copies avoid generation loss over
 	// consecutive recoveries.
 	fused.SnapIntegers(0.35)
-	warped := vmath.Get(cfg.WorkW, cfg.WorkH)
-	valid := vmath.Get(cfg.WorkW, cfg.WorkH)
-	warp.BackwardInto(warped, valid, prevWork, fused, cfg.ConfThreshold)
+	warped, valid := r.warpPrev(fused)
 	fused.Release()
-	vmath.Put(prevWork)
 
 	// Mismatch detection: contours promised by the current code that the
 	// warped prediction does not contain (and stale contours it should
@@ -228,10 +239,16 @@ func (r *Recoverer) recoverHinted(in Input) *vmath.Plane {
 	filled := r.inpaint(warped, valid, guide, cfg.InpaintIters)
 	vmath.Put(guide)
 	vmath.Put(warped)
-	out := r.enhance(filled, valid)
+	var res *vmath.Plane
+	if cfg.FixedPoint {
+		res = r.finishFixed(filled, valid)
+		vmath.Put(filled)
+	} else {
+		out := r.enhance(filled, valid)
+		res = r.resizeOut(out)
+		vmath.Put(out)
+	}
 	vmath.Put(valid)
-	res := vmath.ResizeBilinearInto(vmath.Get(cfg.OutW, cfg.OutH), out)
-	vmath.Put(out)
 	return res
 }
 
@@ -348,30 +365,52 @@ func (r *Recoverer) markCodeMismatch(warped, valid *vmath.Plane, cur *edgecode.C
 	// keeping the warp, so only the strongest signal (the raw mismatches,
 	// undilated) is used in that case.
 	dilate := total*4 < cur.W*cur.H/10*35/10
-	sx := float64(cur.W) / float64(valid.W)
-	sy := float64(cur.H) / float64(valid.H)
 	rad := 1
 	if dilate {
 		rad = 2
 	}
-	for y := 0; y < valid.H; y++ {
-		cy := int(float64(y) * sy)
-		for x := 0; x < valid.W; x++ {
-			cx := int(float64(x) * sx)
+	// Dilate by rad in code space with two separable passes (the naive
+	// per-work-pixel neighbourhood scan was a top-three term of the
+	// recovery profile), then clear valid with one lookup per work pixel.
+	if len(r.mismC) < cur.W*cur.H {
+		r.mismC = make([]bool, cur.W*cur.H)
+	}
+	hor := r.mismA[:cur.W*cur.H] // raw mismatch bits are dead past this point
+	dil := r.mismC[:cur.W*cur.H]
+	for y := 0; y < cur.H; y++ {
+		row := mism[y*cur.W : y*cur.W+cur.W]
+		out := hor[y*cur.W : y*cur.W+cur.W]
+		for x := range out {
 			hit := false
-			for dy := -rad; dy <= rad && !hit; dy++ {
-				for dx := -rad; dx <= rad; dx++ {
-					xx, yy := cx+dx, cy+dy
-					if xx < 0 || yy < 0 || xx >= cur.W || yy >= cur.H {
-						continue
-					}
-					if mism[yy*cur.W+xx] {
-						hit = true
-						break
-					}
+			for dx := -rad; dx <= rad; dx++ {
+				if xx := x + dx; xx >= 0 && xx < cur.W && row[xx] {
+					hit = true
+					break
 				}
 			}
-			if hit {
+			out[x] = hit
+		}
+	}
+	for y := 0; y < cur.H; y++ {
+		out := dil[y*cur.W : y*cur.W+cur.W]
+		for x := range out {
+			hit := false
+			for dy := -rad; dy <= rad; dy++ {
+				if yy := y + dy; yy >= 0 && yy < cur.H && hor[yy*cur.W+x] {
+					hit = true
+					break
+				}
+			}
+			out[x] = hit
+		}
+	}
+	sx := float64(cur.W) / float64(valid.W)
+	sy := float64(cur.H) / float64(valid.H)
+	for y := 0; y < valid.H; y++ {
+		cy := int(float64(y) * sy)
+		crow := dil[cy*cur.W : cy*cur.W+cur.W]
+		for x := 0; x < valid.W; x++ {
+			if crow[int(float64(x)*sx)] {
 				valid.Pix[y*valid.W+x] = 0
 			}
 		}
@@ -383,26 +422,27 @@ func (r *Recoverer) markCodeMismatch(warped, valid *vmath.Plane, cur *edgecode.C
 // and inpainting runs unguided.
 func (r *Recoverer) recoverExtrapolated(in Input) *vmath.Plane {
 	cfg := r.cfg
-	prevWork := vmath.ResizeBilinearInto(vmath.Get(cfg.WorkW, cfg.WorkH), in.Prev)
-	prevPrevWork := vmath.ResizeBilinearInto(vmath.Get(cfg.WorkW, cfg.WorkH), in.PrevPrev)
+	r.prepPrevWork(in.Prev)
 	// Flow from I_{t-2} to I_{t-1}; assuming constant motion, the same
 	// field predicts I_t from I_{t-1} — one extrapolation step is the
 	// field itself, so it is snapped and used directly.
-	f := flow.Estimate(prevPrevWork, prevWork, flow.Options{Levels: 3, Search: 3, ZeroBias: 0.4})
-	vmath.Put(prevPrevWork)
+	f := r.baseFlow(in)
 	ext := f.SnapIntegers(0.35)
-	warped := vmath.Get(cfg.WorkW, cfg.WorkH)
-	valid := vmath.Get(cfg.WorkW, cfg.WorkH)
-	warp.BackwardInto(warped, valid, prevWork, ext, cfg.ConfThreshold)
+	warped, valid := r.warpPrev(ext)
 	f.Release()
-	vmath.Put(prevWork)
 	r.overlayPartWork(warped, valid, in)
 	filled := r.inpaint(warped, valid, nil, cfg.InpaintIters)
 	vmath.Put(warped)
-	out := r.enhance(filled, valid)
+	var res *vmath.Plane
+	if cfg.FixedPoint {
+		res = r.finishFixed(filled, valid)
+		vmath.Put(filled)
+	} else {
+		out := r.enhance(filled, valid)
+		res = r.resizeOut(out)
+		vmath.Put(out)
+	}
 	vmath.Put(valid)
-	res := vmath.ResizeBilinearInto(vmath.Get(cfg.OutW, cfg.OutH), out)
-	vmath.Put(out)
 	return res
 }
 

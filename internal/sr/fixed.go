@@ -1,0 +1,105 @@
+package sr
+
+import (
+	"fmt"
+
+	"nerve/internal/telemetry"
+	"nerve/internal/vmath"
+)
+
+// FastUpscaler is the byte-plane SR head — the fixed-point tier of the
+// enhancement stage. Where SuperResolver runs the full §5 model (bicubic
+// base, flow-aligned temporal fusion, iterative back-projection, detail
+// head) in float planes, FastUpscaler keeps the whole path in uint8/int16:
+// an integer binomial unsharp sharpens the LR frame at LR cost, then the
+// Q15 SWAR bilinear resize lifts it to display resolution. That is the
+// deadline tier: detail synthesis comparable to the analytic head, at
+// roughly two integer passes per output pixel, with no temporal state to
+// warp — which is what lets a 1080p decode→recover→SR frame fit the 33 ms
+// budget on one core (DESIGN.md §10).
+//
+// The head is stateless across frames (no fusion history), so Reset is a
+// no-op kept for interface symmetry and the output depends only on the
+// current LR frame.
+type FastUpscaler struct {
+	cfg   Config
+	sharp *vmath.BytePlane // persistent pooled scratch at LR geometry
+}
+
+// NewFast builds the byte-plane head for the configuration. Only OutW,
+// OutH and DetailBoost are consulted; the temporal and back-projection
+// knobs have no fixed-point counterpart.
+func NewFast(cfg Config) *FastUpscaler {
+	cfg = cfg.withDefaults()
+	return &FastUpscaler{cfg: cfg}
+}
+
+// Config returns the effective configuration.
+func (s *FastUpscaler) Config() Config { return s.cfg }
+
+// Reset drops scratch state (there is no temporal state to clear).
+func (s *FastUpscaler) Reset() {
+	vmath.PutBytes(s.sharp)
+	s.sharp = nil
+}
+
+// boost256 derives the Q8 sharpening amount from the upscale factor with
+// exactly SuperResolver.detailBoost's formula, rounded once.
+func (s *FastUpscaler) boost256(lrW int) int32 {
+	var b float32
+	if s.cfg.DetailBoost != 0 {
+		b = s.cfg.DetailBoost
+	} else {
+		factor := float32(s.cfg.OutW) / float32(lrW)
+		b = 0.08 * (factor - 1)
+		if b > 0.35 {
+			b = 0.35
+		}
+		if b < 0 {
+			b = 0
+		}
+	}
+	return int32(b*256 + 0.5)
+}
+
+// UpscaleBytesInto enhances one LR byte frame into dst, which must be
+// OutW×OutH and not alias lr. Every output pixel is written, so dst may
+// come dirty from the pool. A warmed-up head performs zero plane
+// allocations per call (the LR sharpening scratch is persistent and
+// pooled).
+func (s *FastUpscaler) UpscaleBytesInto(dst, lr *vmath.BytePlane) *vmath.BytePlane {
+	defer telemetry.Start(telemetry.StageSR).Stop()
+	if dst.W != s.cfg.OutW || dst.H != s.cfg.OutH {
+		panic(fmt.Sprintf("sr: dst %dx%d != configured output %dx%d", dst.W, dst.H, s.cfg.OutW, s.cfg.OutH))
+	}
+	a256 := s.boost256(lr.W)
+	if lr.W == s.cfg.OutW && lr.H == s.cfg.OutH {
+		// Same geometry: the head reduces to the sharpen alone.
+		vmath.SharpenBytesInto(dst, lr, a256)
+		return dst
+	}
+	if s.sharp == nil || s.sharp.W != lr.W || s.sharp.H != lr.H {
+		vmath.PutBytes(s.sharp)
+		s.sharp = vmath.GetBytes(lr.W, lr.H)
+	}
+	// Sharpen at LR cost (a quarter of the output pixels at 2×), then one
+	// SWAR bilinear pass to display resolution.
+	vmath.SharpenBytesInto(s.sharp, lr, a256)
+	vmath.ResizeBilinearBytesInto(dst, s.sharp)
+	return dst
+}
+
+// Upscale is the float-plane convenience wrapper: it shadows lr into a
+// pooled byte plane, runs the byte head and converts back. The returned
+// plane is pool-backed and owned by the caller, like SuperResolver's. Hot
+// callers should hold byte planes and call UpscaleBytesInto directly to
+// skip both conversions.
+func (s *FastUpscaler) Upscale(lr *vmath.Plane) *vmath.Plane {
+	lrB := vmath.GetBytes(lr.W, lr.H).FromPlane(lr)
+	outB := vmath.GetBytes(s.cfg.OutW, s.cfg.OutH)
+	s.UpscaleBytesInto(outB, lrB)
+	vmath.PutBytes(lrB)
+	out := outB.ToPlane(vmath.Get(s.cfg.OutW, s.cfg.OutH))
+	vmath.PutBytes(outB)
+	return out
+}

@@ -1,0 +1,87 @@
+package telemetry
+
+import "time"
+
+// Pipelined clients overlap stages across frames (decode of frame n+1 runs
+// while frame n is still being recovered), which breaks the sequential
+// reading of the deadline tracker: the sum of stage times no longer bounds
+// the per-frame wall time. ObservePipelineFrame splits the two quantities
+// the overlapped schedule produces per frame:
+//
+//   - critical: the slot's critical-path wall time — how long the
+//     pipelined schedule actually blocks per slot (the new frame's ingest
+//     plus whatever tail of the previous frame's enhance was not hidden
+//     under it). This bounds the sustainable frame rate, so it is the
+//     quantity the deadline budget governs and it feeds the existing
+//     deadline tracker (frame histogram, overrun count, overrun events)
+//     unchanged.
+//   - busy: the summed busy time of the frame's stages — what the frame
+//     cost in CPU terms regardless of scheduling. Totals of busy exceed
+//     totals of critical when stages overlapped; they match when the
+//     schedule degenerated to sequential (pool size 1).
+//
+// The ratio of the two totals is the overlap ratio reported in snapshots:
+// 1.0 means no overlap was won, 2.0 means the pipeline halved wall time.
+
+// pipeline holds the pipelined-frame aggregates of a Registry.
+type pipeline struct {
+	busy     Histogram // per-frame summed stage busy time
+	critical Histogram // per-frame critical-path wall time
+}
+
+func (p *pipeline) reset() {
+	p.busy.reset()
+	p.critical.reset()
+}
+
+// ObservePipelineFrame records one pipelined frame: critical feeds the
+// frame-deadline tracker exactly like ObserveFrame, busy feeds the separate
+// busy-time histogram. Both are also kept pipeline-locally so the overlap
+// ratio excludes frames recorded through plain ObserveFrame.
+func (r *Registry) ObservePipelineFrame(busy, critical time.Duration) {
+	if !r.enabled.Load() {
+		return
+	}
+	r.ObserveFrame(critical)
+	r.pipe.busy.Observe(busy)
+	r.pipe.critical.Observe(critical)
+}
+
+// PipelineStats is the pipelined-frame aggregate in a Snapshot. It is all
+// zeros for sequential clients (no ObservePipelineFrame calls).
+type PipelineStats struct {
+	// Frames is how many pipelined frames were observed.
+	Frames int64 `json:"frames"`
+	// Busy* describe the per-frame summed stage busy time; Critical*
+	// describe the per-frame critical-path wall time (the same values the
+	// deadline tracker sees for these frames).
+	BusyP50Ms     float64 `json:"busy_p50_ms"`
+	BusyP99Ms     float64 `json:"busy_p99_ms"`
+	CriticalP50Ms float64 `json:"critical_p50_ms"`
+	CriticalP99Ms float64 `json:"critical_p99_ms"`
+	// OverlapRatio is total busy over total critical time: 1.0 means the
+	// schedule ran sequentially, higher means the pipeline overlapped that
+	// much stage work per unit of wall time.
+	OverlapRatio float64 `json:"overlap_ratio"`
+}
+
+// PipelineSnapshot captures the pipelined-frame aggregates.
+func (r *Registry) PipelineSnapshot() PipelineStats {
+	p := &r.pipe
+	s := PipelineStats{
+		Frames:        p.critical.Count(),
+		BusyP50Ms:     ms(p.busy.Quantile(0.50)),
+		BusyP99Ms:     ms(p.busy.Quantile(0.99)),
+		CriticalP50Ms: ms(p.critical.Quantile(0.50)),
+		CriticalP99Ms: ms(p.critical.Quantile(0.99)),
+	}
+	if crit := p.critical.Sum(); crit > 0 {
+		s.OverlapRatio = float64(p.busy.Sum()) / float64(crit)
+	}
+	return s
+}
+
+// ObservePipelineFrame records a pipelined frame on the Default registry.
+func ObservePipelineFrame(busy, critical time.Duration) {
+	Default.ObservePipelineFrame(busy, critical)
+}

@@ -9,7 +9,9 @@ import (
 
 // SnapshotSchema is the schema version stamped into every snapshot; bump
 // it when a field changes meaning so downstream analysis can dispatch.
-const SnapshotSchema = 1
+// v2: added the pipeline block; for pipelined clients the deadline block
+// now measures per-frame critical-path time, not summed stage time.
+const SnapshotSchema = 2
 
 // StageStats is one stage's aggregate in a Snapshot. All times are
 // milliseconds of wall clock.
@@ -52,6 +54,7 @@ type Snapshot struct {
 	Stages   []StageStats     `json:"stages"`
 	Counters map[string]int64 `json:"counters"`
 	Deadline DeadlineStats    `json:"deadline"`
+	Pipeline PipelineStats    `json:"pipeline"`
 }
 
 // ms converts a duration to float64 milliseconds.
@@ -99,6 +102,7 @@ func (r *Registry) Snapshot() Snapshot {
 		OverrunP95Ms: ms(r.dead.over.Quantile(0.95)),
 		OverrunMaxMs: ms(r.dead.over.Max()),
 	}
+	s.Pipeline = r.PipelineSnapshot()
 	return s
 }
 

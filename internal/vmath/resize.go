@@ -2,6 +2,7 @@ package vmath
 
 import (
 	"math"
+	"sync"
 
 	"nerve/internal/par"
 )
@@ -53,8 +54,64 @@ func ResizeNearest(p *Plane, w, h int) *Plane {
 	return ResizeNearestInto(NewPlane(w, h), p)
 }
 
+// lerpTap is one axis sample of the pixel-centre bilinear lattice: two
+// clamped source indices and the float32 fraction between them — exactly
+// the values SampleBilinear would derive per pixel, hoisted out of the
+// inner loop. Border taps carry i0 == i1, which makes the lerp collapse to
+// the replicated sample for any fraction, reproducing AtClamp bit-for-bit.
+type lerpTap struct {
+	i0, i1 int32
+	f      float32
+}
+
+// lerpTapCache caches per-axis bilinear taps keyed by (src, dst) extent —
+// same idiom as the separable-convolution tap cache. Resize geometries are
+// static per stream, so steady state never recomputes (or allocates) taps.
+var lerpTapCache = struct {
+	sync.RWMutex
+	m map[[2]int][]lerpTap
+}{m: map[[2]int][]lerpTap{}}
+
+func lerpTapsFor(src, dst int) []lerpTap {
+	key := [2]int{src, dst}
+	lerpTapCache.RLock()
+	t := lerpTapCache.m[key]
+	lerpTapCache.RUnlock()
+	if t != nil {
+		return t
+	}
+	t = make([]lerpTap, dst)
+	s := float64(src) / float64(dst)
+	for i := 0; i < dst; i++ {
+		// The same float32 position SampleBilinear receives, floored and
+		// fractioned exactly as it would.
+		f := float32((float64(i)+0.5)*s - 0.5)
+		i0 := int(math.Floor(float64(f)))
+		fr := f - float32(i0)
+		j0, j1 := i0, i0+1
+		if j0 < 0 {
+			j0 = 0
+		} else if j0 >= src {
+			j0 = src - 1
+		}
+		if j1 < 0 {
+			j1 = 0
+		} else if j1 >= src {
+			j1 = src - 1
+		}
+		t[i] = lerpTap{i0: int32(j0), i1: int32(j1), f: fr}
+	}
+	lerpTapCache.Lock()
+	lerpTapCache.m[key] = t
+	lerpTapCache.Unlock()
+	return t
+}
+
 // ResizeBilinearInto resamples p to dst's size with bilinear interpolation
-// using pixel-centre alignment. dst must not alias p.
+// using pixel-centre alignment. dst must not alias p. Sample positions and
+// lerp arithmetic are identical to per-pixel SampleBilinear calls (the
+// taps are precomputed, the float32 operations are not reordered), so
+// outputs are bit-identical to the historical formulation.
 func ResizeBilinearInto(dst, p *Plane) *Plane {
 	w, h := dst.W, dst.H
 	if w == 0 || h == 0 {
@@ -64,14 +121,24 @@ func ResizeBilinearInto(dst, p *Plane) *Plane {
 		dst.Fill(0)
 		return dst
 	}
-	sx := float64(p.W) / float64(w)
-	sy := float64(p.H) / float64(h)
+	xt := lerpTapsFor(p.W, w)
+	yt := lerpTapsFor(p.H, h)
 	par.ForRows(h, func(y0, y1 int) {
 		for y := y0; y < y1; y++ {
-			fy := (float64(y)+0.5)*sy - 0.5
+			ty := yt[y]
+			row0 := p.Pix[int(ty.i0)*p.W : int(ty.i0)*p.W+p.W]
+			row1 := p.Pix[int(ty.i1)*p.W : int(ty.i1)*p.W+p.W]
+			fy := ty.f
+			drow := dst.Pix[y*w : y*w+w]
 			for x := 0; x < w; x++ {
-				fx := (float64(x)+0.5)*sx - 0.5
-				dst.Pix[y*w+x] = p.SampleBilinear(float32(fx), float32(fy))
+				tx := xt[x]
+				v00 := row0[tx.i0]
+				v10 := row0[tx.i1]
+				v01 := row1[tx.i0]
+				v11 := row1[tx.i1]
+				top := v00 + tx.f*(v10-v00)
+				bot := v01 + tx.f*(v11-v01)
+				drow[x] = top + fy*(bot-top)
 			}
 		}
 	})

@@ -1,0 +1,86 @@
+package warp
+
+import (
+	"fmt"
+	"math"
+
+	"nerve/internal/flow"
+	"nerve/internal/par"
+	"nerve/internal/telemetry"
+	"nerve/internal/vmath"
+)
+
+// BackwardBytesInto is the fixed-point tier of BackwardInto: the same
+// backward warp with bilinear sampling, run on byte planes with Q15 SWAR
+// arithmetic. The flow field stays float (it comes from the matcher at
+// float precision); each sample position is quantised to Q15 once, after
+// which the two vertical neighbours of each source column ride in the two
+// 32-bit lanes of one uint64 so a single multiply-add performs both
+// horizontal lerps — the same lane layout as vmath.ResizeBilinearBytesInto.
+//
+// Semantics match BackwardInto exactly: out(x,y) = src(x+U, y+V) with
+// replicate clamping, and valid is 1 where the sample position fell inside
+// src (the same −0.5/+W−0.5 bounds, evaluated on the float position before
+// quantisation) and the flow confidence reaches confThreshold, else 0.
+// Error bound vs PixelByte(BackwardInto(float shadow)): ≤1 LSB (Q15
+// position quantisation ≈0.016 grey levels plus rounding ties).
+//
+// out and valid must match src's dimensions, be distinct from each other
+// and not alias src; every pixel of both is written, so they may come
+// dirty from the pool.
+func BackwardBytesInto(out, valid *vmath.BytePlane, src *vmath.BytePlane, f *flow.Field, confThreshold float32) {
+	defer telemetry.Start(telemetry.StageWarp).Stop()
+	if src.W != f.W || src.H != f.H {
+		panic(fmt.Sprintf("warp: plane %dx%d vs field %dx%d", src.W, src.H, f.W, f.H))
+	}
+	if out.W != src.W || out.H != src.H || valid.W != src.W || valid.H != src.H {
+		panic(fmt.Sprintf("warp: dst %dx%d/%dx%d vs src %dx%d", out.W, out.H, valid.W, valid.H, src.W, src.H))
+	}
+	w, h := src.W, src.H
+	const one = 1 << 15
+	par.ForRows(h, func(y0, y1 int) {
+		for y := y0; y < y1; y++ {
+			for x := 0; x < w; x++ {
+				i := y*w + x
+				// The float32 position, exactly as BackwardInto computes it
+				// (the in-bounds test must agree bit-for-bit with the float
+				// path; only the sample arithmetic is fixed-point).
+				sx := float32(x) + f.U[i]
+				sy := float32(y) + f.V[i]
+				inBounds := sx >= -0.5 && sy >= -0.5 && sx <= float32(w)-0.5 && sy <= float32(h)-0.5
+				if inBounds && f.Conf[i] >= confThreshold {
+					valid.Pix[i] = 1
+				} else {
+					valid.Pix[i] = 0
+				}
+				// Quantise to Q15 (floor keeps the fractional part in
+				// [0, 1)), then clamp the integer lattice like AtClamp.
+				px := math.Floor(float64(sx))
+				py := math.Floor(float64(sy))
+				wx := uint64((float64(sx) - px) * one)
+				wy := uint64((float64(sy) - py) * one)
+				x0, x1 := clampIdx(int(px), w), clampIdx(int(px)+1, w)
+				yy0, yy1 := clampIdx(int(py), h), clampIdx(int(py)+1, h)
+				row0 := src.Pix[yy0*w:]
+				row1 := src.Pix[yy1*w:]
+				// Lane 0: top row, lane 1: bottom row.
+				a := uint64(row0[x0]) | uint64(row1[x0])<<32
+				b := uint64(row0[x1]) | uint64(row1[x1])<<32
+				hq := a*(one-wx) + b*wx
+				top := hq & 0xffffffff
+				bot := hq >> 32
+				out.Pix[i] = uint8((top*(one-wy) + bot*wy + 1<<29) >> 30)
+			}
+		}
+	})
+}
+
+func clampIdx(i, n int) int {
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
+}

@@ -1,0 +1,131 @@
+package warp
+
+import (
+	"math/rand"
+	"testing"
+
+	"nerve/internal/flow"
+	"nerve/internal/par"
+	"nerve/internal/vmath"
+)
+
+// randomBytePlane fills a byte plane with seeded noise.
+func randomBytePlane(w, h int, seed int64) *vmath.BytePlane {
+	rng := rand.New(rand.NewSource(seed))
+	p := vmath.NewBytePlane(w, h)
+	for i := range p.Pix {
+		p.Pix[i] = uint8(rng.Intn(256))
+	}
+	return p
+}
+
+// randomField builds a flow field with subpixel vectors up to ±maxMag and
+// mixed confidence, including vectors that leave the plane (hole cases).
+func randomField(w, h int, maxMag float32, seed int64) *flow.Field {
+	rng := rand.New(rand.NewSource(seed))
+	f := flow.NewField(w, h)
+	for i := range f.U {
+		f.U[i] = (rng.Float32()*2 - 1) * maxMag
+		f.V[i] = (rng.Float32()*2 - 1) * maxMag
+		f.Conf[i] = rng.Float32()
+	}
+	return f
+}
+
+// TestBackwardBytesWithinOneLSB: the Q15 SWAR warp must stay within 1 LSB
+// of the rounded float warp on byte-valued sources, with a bit-identical
+// valid mask.
+func TestBackwardBytesWithinOneLSB(t *testing.T) {
+	const w, h = 97, 61
+	srcB := randomBytePlane(w, h, 1)
+	srcF := srcB.ToPlane(vmath.NewPlane(w, h))
+	for _, maxMag := range []float32{1.5, 8, 80} {
+		f := randomField(w, h, maxMag, int64(maxMag))
+		const conf = 0.35
+		outB := vmath.NewBytePlane(w, h)
+		validB := vmath.NewBytePlane(w, h)
+		BackwardBytesInto(outB, validB, srcB, f, conf)
+		outF := vmath.NewPlane(w, h)
+		validF := vmath.NewPlane(w, h)
+		BackwardInto(outF, validF, srcF, f, conf)
+		for i := range outB.Pix {
+			want := vmath.PixelByte(outF.Pix[i])
+			d := int(outB.Pix[i]) - int(want)
+			if d < 0 {
+				d = -d
+			}
+			if d > 1 {
+				t.Fatalf("maxMag %v pixel %d: byte warp %d vs float %d (Δ%d > 1)",
+					maxMag, i, outB.Pix[i], want, d)
+			}
+			wantValid := uint8(0)
+			if validF.Pix[i] == 1 {
+				wantValid = 1
+			}
+			if validB.Pix[i] != wantValid {
+				t.Fatalf("maxMag %v pixel %d: valid mask %d vs float %v",
+					maxMag, i, validB.Pix[i], validF.Pix[i])
+			}
+		}
+	}
+}
+
+// TestBackwardBytesIntegerFlowExact: integer flow vectors make the warp an
+// exact pixel copy — the property SnapIntegers relies on to prevent
+// generation loss must survive the fixed-point path.
+func TestBackwardBytesIntegerFlowExact(t *testing.T) {
+	const w, h = 40, 30
+	src := randomBytePlane(w, h, 2)
+	f := flow.NewField(w, h)
+	for i := range f.U {
+		f.U[i] = 3
+		f.V[i] = -2
+		f.Conf[i] = 1
+	}
+	out := vmath.NewBytePlane(w, h)
+	valid := vmath.NewBytePlane(w, h)
+	BackwardBytesInto(out, valid, src, f, 0.5)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			want := src.AtClamp(x+3, y-2)
+			if got := out.Pix[y*w+x]; got != want {
+				t.Fatalf("(%d,%d): integer warp %d, want %d", x, y, got, want)
+			}
+		}
+	}
+}
+
+// TestBackwardBytesPoolSizeIndependent: row-band parallelism must not
+// change the result.
+func TestBackwardBytesPoolSizeIndependent(t *testing.T) {
+	const w, h = 130, 77
+	src := randomBytePlane(w, h, 3)
+	f := randomField(w, h, 6, 3)
+	run := func(workers int) *vmath.BytePlane {
+		defer par.SetWorkers(workers)()
+		out := vmath.NewBytePlane(w, h)
+		valid := vmath.NewBytePlane(w, h)
+		BackwardBytesInto(out, valid, src, f, 0.3)
+		return out
+	}
+	a := run(1)
+	b := run(4)
+	for i := range a.Pix {
+		if a.Pix[i] != b.Pix[i] {
+			t.Fatalf("pixel %d differs across pool sizes: %d vs %d", i, a.Pix[i], b.Pix[i])
+		}
+	}
+}
+
+func BenchmarkBackwardBytes480x270(b *testing.B) {
+	const w, h = 480, 270
+	src := randomBytePlane(w, h, 4)
+	f := randomField(w, h, 5, 4)
+	out := vmath.NewBytePlane(w, h)
+	valid := vmath.NewBytePlane(w, h)
+	b.SetBytes(int64(w * h))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BackwardBytesInto(out, valid, src, f, 0.35)
+	}
+}
