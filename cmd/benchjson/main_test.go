@@ -104,6 +104,28 @@ func TestCompareKeysOnPkgAndCPUs(t *testing.T) {
 	}
 }
 
+func TestSpeedupGate(t *testing.T) {
+	run := &output{Benchmarks: []Benchmark{
+		bench("p", "BenchmarkFDCT8Int", 1, 200),
+		bench("p", "BenchmarkFDCT8Int4x", 1, 520), // 4 blocks/op → 130 ns/block, 1.54×
+	}}
+	if ok, rep := speedup(run, "BenchmarkFDCT8Int4x", "BenchmarkFDCT8Int", 1.5, 4); !ok {
+		t.Fatalf("1.54x run failed a 1.5x gate:\n%s", rep)
+	}
+	// 4×200/560 ≈ 1.43× — under the bar.
+	run.Benchmarks[1] = bench("p", "BenchmarkFDCT8Int4x", 1, 560)
+	if ok, rep := speedup(run, "BenchmarkFDCT8Int4x", "BenchmarkFDCT8Int", 1.5, 4); ok || !strings.Contains(rep, "SLOW") {
+		t.Fatalf("1.43x run passed a 1.5x gate:\n%s", rep)
+	}
+	// Either side vanishing from the run must fail, not silently pass.
+	if ok, rep := speedup(run, "BenchmarkGone", "BenchmarkFDCT8Int", 1.5, 4); ok || !strings.Contains(rep, "MISSING") {
+		t.Fatalf("missing new benchmark passed the gate:\n%s", rep)
+	}
+	if ok, rep := speedup(run, "BenchmarkFDCT8Int4x", "BenchmarkGone", 1.5, 4); ok || !strings.Contains(rep, "MISSING") {
+		t.Fatalf("missing reference benchmark passed the gate:\n%s", rep)
+	}
+}
+
 func TestParseLineRejectsGarbage(t *testing.T) {
 	for _, line := range []string{
 		"BenchmarkX",

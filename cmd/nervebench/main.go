@@ -15,6 +15,7 @@
 //	nervebench -workers 1 -exp fig7 # pin the worker pool (also: NERVE_WORKERS)
 //	nervebench -all -quick -telemetry BENCH_telemetry.json
 //	nervebench -stages -quick       # pipelined 1080p session: stage p50/p99 + overlap
+//	nervebench -stages -tier auto   # same, kernel tier picked per frame by the governor
 package main
 
 import (
@@ -23,6 +24,7 @@ import (
 	"os"
 
 	"nerve"
+	"nerve/internal/core"
 	"nerve/internal/par"
 	"nerve/internal/telemetry"
 )
@@ -40,6 +42,7 @@ func main() {
 		telEvents = flag.String("telemetry-events", "", "stream telemetry events (JSON lines) to this file")
 		fps       = flag.Float64("fps", 30, "frame-deadline target in frames per second (with -telemetry)")
 		stages    = flag.Bool("stages", false, "run a pipelined 1080p client session and dump per-stage p50/p99 plus the overlap ratio")
+		tierFlag  = flag.String("tier", "auto", "kernel tier policy for -stages: float, fixed or auto (deadline governor)")
 	)
 	flag.Parse()
 	if *workers > 0 {
@@ -67,7 +70,10 @@ func main() {
 			fmt.Println(id)
 		}
 	case *stages:
-		runErr = runStages(os.Stdout, *quick, *seed)
+		var tier core.Tier
+		if tier, runErr = core.ParseTier(*tierFlag); runErr == nil {
+			runErr = runStages(os.Stdout, *quick, *seed, tier)
+		}
 	case *all:
 		runErr = nerve.RunAllExperiments(opts, os.Stdout)
 	case *exp != "":

@@ -12,11 +12,13 @@ import (
 )
 
 // runStages drives one pipelined client session at the headline operating
-// point — 960×540 transmission, 1920×1080 display, fixed-point kernel
-// tier, one complete loss in five — and dumps where the frame time went:
-// per-stage p50/p99 from the stage timers, plus the pipeline's busy vs
-// critical-path split and the overlap ratio the stage graph actually won.
-func runStages(w io.Writer, quick bool, seed int64) error {
+// point — 960×540 transmission, 1920×1080 display, one complete loss in
+// five — and dumps where the frame time went: per-stage p50/p99 from the
+// stage timers, plus the pipeline's busy vs critical-path split and the
+// overlap ratio the stage graph actually won. tier picks the kernel tier
+// policy (-tier float|fixed|auto); under auto the report also shows the
+// governor's per-tier frame counts, switches and probes.
+func runStages(w io.Writer, quick bool, seed int64, tier core.Tier) error {
 	frames := 150
 	if quick {
 		frames = 30
@@ -28,7 +30,7 @@ func runStages(w io.Writer, quick bool, seed int64) error {
 	}
 	cli, err := core.NewClient(core.ClientConfig{
 		W: txW, H: txH, OutW: 1920, OutH: 1080,
-		EnableRecovery: true, EnableSR: true, FixedPoint: true,
+		EnableRecovery: true, EnableSR: true, Tier: tier,
 	})
 	if err != nil {
 		return err
@@ -86,7 +88,7 @@ func runStages(w io.Writer, quick bool, seed int64) error {
 	}
 
 	s := telemetry.Default.Snapshot()
-	fmt.Fprintf(w, "pipelined 960x540 -> 1920x1080 fixed-point client, %d frames after %d warm (1-in-5 loss)\n\n", frames-warm, warm)
+	fmt.Fprintf(w, "pipelined 960x540 -> 1920x1080 client, tier %s, %d frames after %d warm (1-in-5 loss)\n\n", tier, frames-warm, warm)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "stage\tcount\tp50 ms\tp99 ms\tmax ms")
 	for _, st := range s.Stages {
@@ -103,5 +105,8 @@ func runStages(w io.Writer, quick bool, seed int64) error {
 	fmt.Fprintf(w, "\noverlap ratio: %.2fx (busy time per unit of critical-path time; 1.00 = sequential)\n", s.Pipeline.OverlapRatio)
 	fmt.Fprintf(w, "deadline: %d/%d frames over the %.1f ms budget\n",
 		s.Deadline.Overruns, s.Deadline.Frames, s.Deadline.BudgetMs)
+	fmt.Fprintf(w, "tiers: %d float / %d fixed frames, %d switches, %d probes\n",
+		s.Counters["tier.float_frames"], s.Counters["tier.fixed_frames"],
+		s.Counters["tier.switches"], s.Counters["tier.probes"])
 	return nil
 }

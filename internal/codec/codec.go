@@ -442,6 +442,15 @@ func mcMB(ref, dst *vmath.Plane, cx, cy int, mv MV, w, h int) {
 // codeIntraMB codes the four 8×8 blocks of a macroblock against the flat
 // predictor 128 and reconstructs into recon.
 func (e *Encoder) codeIntraMB(frame, recon *vmath.Plane, cx, cy int, q float32, w *bits.Writer) {
+	if xf.fdct4x != nil {
+		var blks [4][64]float32
+		gatherIntra4(frame, cx, cy, &blks)
+		rec := codeMB4(&blks, q, w)
+		for b := 0; b < 4; b++ {
+			writeBlock(recon, cx+(b&1)*blockSize, cy+(b>>1)*blockSize, &rec[b], 128)
+		}
+		return
+	}
 	for by := 0; by < 2; by++ {
 		for bx := 0; bx < 2; bx++ {
 			x0 := cx + bx*blockSize
@@ -460,6 +469,25 @@ func (e *Encoder) codeIntraMB(frame, recon *vmath.Plane, cx, cy int, q float32, 
 
 // codeInterMB codes the motion-compensated residual of a macroblock.
 func (e *Encoder) codeInterMB(frame, recon *vmath.Plane, cx, cy int, mv MV, q float32, w *bits.Writer) {
+	if xf.fdct4x != nil {
+		var blks, pred [4][64]float32
+		for b := 0; b < 4; b++ {
+			x0 := cx + (b&1)*blockSize
+			y0 := cy + (b>>1)*blockSize
+			for y := 0; y < blockSize; y++ {
+				for x := 0; x < blockSize; x++ {
+					p := e.ref.AtClamp(x0+x+mv.X, y0+y+mv.Y)
+					pred[b][y*8+x] = p
+					blks[b][y*8+x] = frame.AtClamp(x0+x, y0+y) - p
+				}
+			}
+		}
+		rec := codeMB4(&blks, q, w)
+		for b := 0; b < 4; b++ {
+			writeInterBlock(recon, cx+(b&1)*blockSize, cy+(b>>1)*blockSize, &pred[b], &rec[b])
+		}
+		return
+	}
 	for by := 0; by < 2; by++ {
 		for bx := 0; bx < 2; bx++ {
 			x0 := cx + bx*blockSize
@@ -473,19 +501,25 @@ func (e *Encoder) codeInterMB(frame, recon *vmath.Plane, cx, cy int, mv MV, q fl
 				}
 			}
 			rec := codeBlock(&blk, q, w)
-			for y := 0; y < blockSize; y++ {
-				py := y0 + y
-				if py >= recon.H {
-					break
-				}
-				for x := 0; x < blockSize; x++ {
-					px := x0 + x
-					if px >= recon.W {
-						break
-					}
-					recon.Pix[py*recon.W+px] = clamp255(predB[y*8+x] + rec[y*8+x])
-				}
+			writeInterBlock(recon, x0, y0, &predB, rec)
+		}
+	}
+}
+
+// writeInterBlock reconstructs one inter block (prediction + residual,
+// clamped) into dst, bounds-checked at the frame edge.
+func writeInterBlock(dst *vmath.Plane, x0, y0 int, pred, rec *[64]float32) {
+	for y := 0; y < blockSize; y++ {
+		py := y0 + y
+		if py >= dst.H {
+			break
+		}
+		for x := 0; x < blockSize; x++ {
+			px := x0 + x
+			if px >= dst.W {
+				break
 			}
+			dst.Pix[py*dst.W+px] = clamp255(pred[y*8+x] + rec[y*8+x])
 		}
 	}
 }
@@ -497,8 +531,17 @@ func codeBlock(blk *[64]float32, q float32, w *bits.Writer) *[64]float32 {
 	xf.fdct(blk, &coef)
 	var levels [64]int32
 	quantise(&coef, q, &levels)
+	writeLevels(&levels, w)
+	var deq [64]float32
+	dequantise(&levels, q, &deq)
+	var rec [64]float32
+	xf.idct(&deq, &rec)
+	return &rec
+}
 
-	// Zigzag run/level coding: count of non-zeros, then (run, level) pairs.
+// writeLevels entropy-codes one block's quantised levels: zigzag run/level
+// coding, count of non-zeros, then (run, level) pairs.
+func writeLevels(levels *[64]int32, w *bits.Writer) {
 	var nz uint32
 	for _, i := range zigzag {
 		if levels[i] != 0 {
@@ -516,12 +559,6 @@ func codeBlock(blk *[64]float32, q float32, w *bits.Writer) *[64]float32 {
 		w.WriteSE(levels[i])
 		run = 0
 	}
-
-	var deq [64]float32
-	dequantise(&levels, q, &deq)
-	var rec [64]float32
-	xf.idct(&deq, &rec)
-	return &rec
 }
 
 func writeBlock(dst *vmath.Plane, x0, y0 int, blk *[64]float32, bias float32) {
@@ -714,6 +751,16 @@ func (d *Decoder) decodeSlice(s *Slice, out, mask *vmath.Plane) error {
 }
 
 func (d *Decoder) decodeIntraMB(r *bits.Reader, out *vmath.Plane, cx, cy int, q float32) error {
+	if xf.idct4x != nil {
+		rec, err := d.decodeMB4(r, q)
+		if err != nil {
+			return err
+		}
+		for b := 0; b < 4; b++ {
+			writeBlock(out, cx+(b&1)*blockSize, cy+(b>>1)*blockSize, &rec[b], 128)
+		}
+		return nil
+	}
 	for by := 0; by < 2; by++ {
 		for bx := 0; bx < 2; bx++ {
 			rec, err := decodeBlock(r, q)
@@ -727,63 +774,87 @@ func (d *Decoder) decodeIntraMB(r *bits.Reader, out *vmath.Plane, cx, cy int, q 
 }
 
 func (d *Decoder) decodeInterMB(r *bits.Reader, out *vmath.Plane, cx, cy int, mv MV, q float32) error {
+	if xf.idct4x != nil {
+		rec, err := d.decodeMB4(r, q)
+		if err != nil {
+			return err
+		}
+		for b := 0; b < 4; b++ {
+			d.writeInterMC(out, cx+(b&1)*blockSize, cy+(b>>1)*blockSize, mv, &rec[b])
+		}
+		return nil
+	}
 	for by := 0; by < 2; by++ {
 		for bx := 0; bx < 2; bx++ {
-			x0 := cx + bx*blockSize
-			y0 := cy + by*blockSize
 			rec, err := decodeBlock(r, q)
 			if err != nil {
 				return err
 			}
-			for y := 0; y < blockSize; y++ {
-				py := y0 + y
-				if py >= out.H {
-					break
-				}
-				for x := 0; x < blockSize; x++ {
-					px := x0 + x
-					if px >= out.W {
-						break
-					}
-					p := d.ref.AtClamp(px+mv.X, py+mv.Y)
-					out.Pix[py*out.W+px] = clamp255(p + rec[y*8+x])
-				}
-			}
+			d.writeInterMC(out, cx+bx*blockSize, cy+by*blockSize, mv, rec)
 		}
 	}
 	return nil
 }
 
+// writeInterMC reconstructs one inter block from the decoder's reference
+// (motion-compensated prediction + residual, clamped) into out.
+func (d *Decoder) writeInterMC(out *vmath.Plane, x0, y0 int, mv MV, rec *[64]float32) {
+	for y := 0; y < blockSize; y++ {
+		py := y0 + y
+		if py >= out.H {
+			break
+		}
+		for x := 0; x < blockSize; x++ {
+			px := x0 + x
+			if px >= out.W {
+				break
+			}
+			p := d.ref.AtClamp(px+mv.X, py+mv.Y)
+			out.Pix[py*out.W+px] = clamp255(p + rec[y*8+x])
+		}
+	}
+}
+
 // decodeBlock entropy-decodes, dequantises and inverse-transforms one block.
 func decodeBlock(r *bits.Reader, q float32) (*[64]float32, error) {
-	nz, err := r.ReadUE()
-	if err != nil {
-		return nil, err
-	}
-	if nz > 64 {
-		return nil, fmt.Errorf("bad coefficient count %d", nz)
-	}
 	var levels [64]int32
-	pos := 0
-	for i := uint32(0); i < nz; i++ {
-		run, err := r.ReadUE()
-		if err != nil {
-			return nil, err
-		}
-		lvl, err := r.ReadSE()
-		if err != nil {
-			return nil, err
-		}
-		pos += int(run)
-		if pos >= 64 {
-			return nil, fmt.Errorf("coefficient position overflow")
-		}
-		levels[zigzag[pos]] = lvl
-		pos++
+	if err := readLevels(r, &levels); err != nil {
+		return nil, err
 	}
 	var deq [64]float32
 	dequantise(&levels, q, &deq)
 	var rec [64]float32
 	xf.idct(&deq, &rec)
 	return &rec, nil
+}
+
+// readLevels entropy-decodes one block's quantised levels (the inverse of
+// writeLevels). levels is fully overwritten.
+func readLevels(r *bits.Reader, levels *[64]int32) error {
+	*levels = [64]int32{}
+	nz, err := r.ReadUE()
+	if err != nil {
+		return err
+	}
+	if nz > 64 {
+		return fmt.Errorf("bad coefficient count %d", nz)
+	}
+	pos := 0
+	for i := uint32(0); i < nz; i++ {
+		run, err := r.ReadUE()
+		if err != nil {
+			return err
+		}
+		lvl, err := r.ReadSE()
+		if err != nil {
+			return err
+		}
+		pos += int(run)
+		if pos >= 64 {
+			return fmt.Errorf("coefficient position overflow")
+		}
+		levels[zigzag[pos]] = lvl
+		pos++
+	}
+	return nil
 }

@@ -99,11 +99,16 @@ func idct8Ref(in, out *[64]float32) {
 //     coefficients as the unscaled transform would — scaling costs zero
 //     extra multiplies, and bitstreams are interchangeable across sets.
 type transformSet struct {
-	fdct, idct  func(in, out *[64]float32)
-	fwdScale    [64]float32
-	invScale    [64]float32
-	quantRecip  [64]float32
-	dequantStep [64]float32
+	fdct, idct func(in, out *[64]float32)
+	// fdct4x/idct4x, when non-nil, transform four blocks per call — the
+	// packed SWAR tier (dct_int4x.go) uses them to run one lane per block
+	// of a macroblock. Semantics per block are identical to fdct/idct;
+	// the macroblock coders batch through them when present.
+	fdct4x, idct4x func(in, out *[4][64]float32)
+	fwdScale       [64]float32
+	invScale       [64]float32
+	quantRecip     [64]float32
+	dequantStep    [64]float32
 }
 
 // xf is the active transform set. It is chosen at build time by

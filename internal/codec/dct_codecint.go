@@ -2,10 +2,13 @@
 
 package codec
 
-// defaultTransforms selects the integer fixed-point AAN transforms when
+// defaultTransforms selects the packed int16×4 SWAR transform tier when
 // built with -tags codecint — bit-identical coefficients on every platform
-// regardless of FMA contraction or float reassociation (dct_int.go).
-func defaultTransforms() transformSet { return intTransforms() }
+// regardless of FMA contraction or float reassociation, with the
+// macroblock coders batching four blocks per transform call
+// (dct_int4x.go; the scalar integer set of dct_int.go remains as the
+// packed tier's differential-test partner).
+func defaultTransforms() transformSet { return int4xTransforms() }
 
 // RefTransformsForced reports whether this binary was built with
 // -tags codecref (reference DCT forced).

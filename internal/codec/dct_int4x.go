@@ -1,0 +1,561 @@
+package codec
+
+// Packed int16×4 SWAR AAN transforms: fdct8x4/idct8x4 run the same AAN
+// butterfly flow graphs as dct_int.go across FOUR blocks at once, carrying
+// one lane per block inside a single uint64 word. The fixed tier codes
+// 16×16 macroblocks as exactly four 8×8 luma blocks, so the natural batch
+// is already everywhere in the codec — the batch entry points slot into
+// transformSet (fdct4x/idct4x) and become the active tier under
+// -tags codecint.
+//
+// # Lane layout and bias arithmetic
+//
+// Signed lanes cannot share a word under plain uint64 add/sub — a borrow
+// in one lane corrupts its neighbour. Every lane therefore stores v+B for
+// a per-node power-of-two bias B chosen so stored values are provably
+// non-negative and carry-free:
+//
+//   - add:  (a+b) − pack(B)          bias B+B → B, no borrow since the
+//     result is a flow node: |va+vb| ≤ nodeMax < B.
+//   - sub:  (a + pack(B)) − b        per-lane va−vb+B ≥ 0, same argument.
+//   - mul by Q-constant c, shift s:  the even/odd 16-bit lanes are split
+//     into 32-bit fields, each field multiplied by c in ONE uint64
+//     multiply (field·c < 2³², so products cannot cross fields), rounded
+//     with +2^{s−1}, shifted, masked, recombined. The bias turns into
+//     B·c≫s — exact, because 2^s divides B·c for power-of-two B ≥ 2^s —
+//     and one packed constant renormalises it back to B. The spill of the
+//     upper field's shifted product lands at bit ≥ 32−s, above every
+//     result mask used here.
+//
+// Because the biases cancel exactly, lane values equal a pure scalar
+// int32 evaluation of the same flow graph with the same rounding —
+// fdct8Lane/idct8Lane below ARE that evaluation, and TestInt4xPackedLaneBitIdentity
+// holds the pair bit-identical.
+//
+// # Precision layout (differs from dct_int.go, same flow, same scales)
+//
+//	fdct: pixels/residuals enter at Q2 so the whole first (row) pass fits
+//	16-bit lanes — four lanes per word. True 1-D worst-case L1 gain of
+//	the flow is 10.06×, so |node| ≤ 10.06·4·380 < 2^14 for |in| ≤ 380
+//	(intra is ±128, inter residual ±255). Row constants are Q14. The
+//	column pass widens to two 32-bit fields per word (values reach ~10⁵)
+//	with Q12 constants. Output descales Q2 once at the end.
+//
+//	idct: dequantised coefficients enter at Q8 and stay Q8 end-to-end
+//	with the Q15 constants of dct_int.go — the same precision class as
+//	idct8Int (~a quarter grey level on full-scale blocks). Both passes
+//	run in 32-bit fields (inverse flow intermediates reach 11.75× the
+//	input magnitude per pass, far past int16 even at Q0); the multiplies
+//	use one 64-bit multiply per field (mulI2), which removes the shared-
+//	multiply product ceiling that would otherwise force a descale. The
+//	canonical bias widens b22 → b26 between passes to cover the growth.
+//	|in| ≤ 1030 as in dct_int.go.
+//
+// Accuracy contract: same shape as the int tier's — quantised levels
+// match the AAN set within ±1 and only on rounding boundaries
+// (TestInt4xQuantLevelEquivalence), end-to-end PSNR parity
+// (TestEncodePSNRParityWithInt4x). A hostile bitstream can push
+// dequantised coefficients outside the idct contract; lanes then wrap and
+// reconstruct garbage pixels, clamped like every other tier — no memory
+// unsafety, same class as int32 overflow in dct_int.go.
+const (
+	lane4 = 0x0001_0001_0001_0001 // ×k replicates k into four 16-bit lanes
+	lane2 = 0x0000_0001_0000_0001 // ×k replicates k into two 32-bit fields
+
+	evn16 = 0x0000_FFFF_0000_FFFF // even 16-bit lanes as 32-bit fields
+	fld20 = 0x000F_FFFF_000F_FFFF // low 20 bits of each 32-bit field
+
+	b14 = 1 << 14 // canonical 16-bit lane bias (fdct rows)
+	b18 = 1 << 18 // canonical field bias (fdct cols)
+
+	// Q14 rotation constants (fdct row pass).
+	c14F1 = 11585 // aanF1·2^14
+	c14F2 = 6270  // aanF2·2^14
+	c14F3 = 8867  // aanF3·2^14
+	c14F4 = 21407 // aanF4·2^14
+	// Q12 rotation constants (fdct column pass).
+	c12F1 = 2896 // aanF1·2^12
+	c12F2 = 1567 // aanF2·2^12
+	c12F3 = 2217 // aanF3·2^12
+	c12F4 = 5352 // aanF4·2^12
+	// The idct reuses dct_int.go's Q15 constants; cI4 is negative, so the
+	// packed flow applies its magnitude and folds the sign into the
+	// butterfly (see idctLine2/idct8Lane).
+	cI4m = -cI4 // |aanI4|·2^15
+
+	b22 = 1 << 22 // canonical field bias, idct pass 1
+	b26 = 1 << 26 // canonical field bias, idct pass 2
+
+	pk4b14 = b14 * lane4 // pack4(b14)
+	pk2b18 = b18 * lane2
+	pk2b22 = b22 * lane2
+	pk2b26 = b26 * lane2
+	mh14   = (1 << 13) * lane2 // per-field rounding half for ≫14
+	mh12   = (1 << 11) * lane2 // per-field rounding half for ≫12
+)
+
+// pk4 packs a (possibly negative) per-lane adjustment into four 16-bit
+// lanes. Negative values rely on two's-complement wraparound: adding
+// pk4(-k) is exactly subtracting pk4(k) mod 2⁶⁴, and the per-lane
+// no-borrow proofs in the flow make the wraparound invisible.
+func pk4(v int64) uint64 { return uint64(v) * lane4 }
+
+// pk2 packs a per-field adjustment into two 32-bit fields (same
+// wraparound argument as pk4).
+func pk2(v int64) uint64 { return uint64(v) * lane2 }
+
+// add4 adds two bias-b14 4-lane words; result bias b14.
+func add4(a, b uint64) uint64 { return a + b - pk4b14 }
+
+// sub4 subtracts two bias-b14 4-lane words; result bias b14.
+func sub4(a, b uint64) uint64 { return a + pk4b14 - b }
+
+// mul4 multiplies the four bias-b14 lanes of w by the Q14 constant c and
+// renormalises: the bias image after ·c≫14 is exactly c (2¹⁴ divides
+// b14·c), so post = pk4(b14 − c) restores the canonical bias with no
+// pre-adjustment. Operand lanes must satisfy |v| ≤ 2^13 so lanes stay
+// positive and the biased field product stays under 2³² — every mul
+// operand in the flow graphs below is bounded by 8×input, well inside.
+func mul4(w, c, post uint64) uint64 {
+	lo := (((w & evn16) * c) + mh14) >> 14 & evn16
+	hi := ((((w >> 16) & evn16) * c) + mh14) >> 14 & evn16
+	return (lo | hi<<16) + post
+}
+
+// add2 adds two 2-field words of canonical bias pb (pk2 of the pass's
+// canonical bias); result keeps that bias.
+func add2(a, b, pb uint64) uint64 { return a + b - pb }
+
+// sub2 subtracts two 2-field words of canonical bias pb.
+func sub2(a, b, pb uint64) uint64 { return a + pb - b }
+
+// mul2 multiplies both 32-bit fields of w by the Q12 constant c in one
+// uint64 multiply, straight at the canonical bias b18: operands are
+// ≤ 4×pass input ≈ 6·10⁴, so (v+b18)·c < 2³² for every c here and the
+// bias image 64c is exact (2¹² | b18·c); post = pk2(b18 − 64c).
+func mul2(w, c, post uint64) uint64 {
+	p := w*c + mh12
+	return (p >> 12 & fld20) + post
+}
+
+// mulI2 multiplies both 32-bit fields of w by a Q15 constant with one
+// 64-bit multiply PER FIELD. The idct's intermediates are too wide for
+// the shared-multiply trick (field·c must stay under 2³²), but isolating
+// each field in its own word removes the ceiling entirely — which is what
+// lets the packed inverse carry Q8 end-to-end with the Q15 constants of
+// dct_int.go instead of degrading precision. Fields multiply at the
+// pass's canonical bias (biased field · c < 2⁶³ comfortably); the bias
+// image B·c≫15 is exact for the power-of-two canonical biases, and post
+// renormalises it back.
+func mulI2(w, c, post uint64) uint64 {
+	lo := ((w&0xFFFF_FFFF)*c + intHalf) >> intConstBits
+	hi := ((w>>32)*c + intHalf) >> intConstBits
+	return (lo | hi<<32) + post
+}
+
+// Post-normalisation constants (computed once; several are negative and
+// live as wrapped uint64 adjustments, see pk4/pk2).
+var (
+	postF1q14 = pk4(b14 - c14F1)
+	postF2q14 = pk4(b14 - c14F2)
+	postF3q14 = pk4(b14 - c14F3)
+	postF4q14 = pk4(b14 - c14F4)
+
+	postF1c = pk2(b18 - 64*c12F1)
+	postF2c = pk2(b18 - 64*c12F2)
+	postF3c = pk2(b18 - 64*c12F3)
+	postF4c = pk2(b18 - 64*c12F4)
+
+	// idct pass 1: canonical bias b22, whose image through ·c≫15 is 128c.
+	postI1a = pk2(b22 - 128*cI1)
+	postI2a = pk2(b22 - 128*cI2)
+	postI3a = pk2(b22 - 128*cI3)
+	postI4a = pk2(b22 - 128*cI4m)
+	// idct pass 2: canonical bias b26, image 2048c.
+	postI1b = pk2(b26 - 2048*cI1)
+	postI2b = pk2(b26 - 2048*cI2)
+	postI3b = pk2(b26 - 2048*cI3)
+	postI4b = pk2(b26 - 2048*cI4m)
+)
+
+// fdct8x4 computes fdct8's flow graph for four blocks at once, one lane
+// per block. Output is the same scaled coefficient domain as fdct8Int's
+// (AAN diagonal scales; quant tables identical). |in| ≤ 380 per sample.
+func fdct8x4(in *[4][64]float32, out *[4][64]float32) {
+	// Pack: Q2 + bias in one float step — int32(x·4 + (b14+0.5)) is both
+	// the round-half-up quantiser and the bias add, branch-free. It stays
+	// float32 for speed (this loop is a third of the op in float64); the
+	// 2⁻⁹ ulp at the biased magnitude can flip ties, but the scalar lane
+	// uses the IDENTICAL expression, so packed/lane bit-identity holds by
+	// construction and the tie noise is far below the Q2 step. The pack is
+	// fused into the row pass so each freshly packed word feeds its
+	// butterfly straight from registers instead of round-tripping through
+	// the scratch array.
+	var w [64]uint64
+	for y := 0; y < 8; y++ {
+		b0 := in[0][y*8 : y*8+8]
+		b1 := in[1][y*8 : y*8+8]
+		b2 := in[2][y*8 : y*8+8]
+		b3 := in[3][y*8 : y*8+8]
+		_ = b0[7]
+		_ = b1[7]
+		_ = b2[7]
+		_ = b3[7]
+		pack1 := func(x int) uint64 {
+			s0 := uint64(uint16(int32(b0[x]*4 + (b14 + 0.5))))
+			s1 := uint64(uint16(int32(b1[x]*4 + (b14 + 0.5))))
+			s2 := uint64(uint16(int32(b2[x]*4 + (b14 + 0.5))))
+			s3 := uint64(uint16(int32(b3[x]*4 + (b14 + 0.5))))
+			return s0 | s1<<16 | s2<<32 | s3<<48
+		}
+		p0, p1, p2, p3 := pack1(0), pack1(1), pack1(2), pack1(3)
+		p4, p5, p6, p7 := pack1(4), pack1(5), pack1(6), pack1(7)
+		// Rows: 16-bit lanes, Q14 constants.
+		r := w[y*8 : y*8+8]
+		tmp0, tmp7 := add4(p0, p7), sub4(p0, p7)
+		tmp1, tmp6 := add4(p1, p6), sub4(p1, p6)
+		tmp2, tmp5 := add4(p2, p5), sub4(p2, p5)
+		tmp3, tmp4 := add4(p3, p4), sub4(p3, p4)
+
+		tmp10, tmp13 := add4(tmp0, tmp3), sub4(tmp0, tmp3)
+		tmp11, tmp12 := add4(tmp1, tmp2), sub4(tmp1, tmp2)
+		r[0] = add4(tmp10, tmp11)
+		r[4] = sub4(tmp10, tmp11)
+		z1 := mul4(add4(tmp12, tmp13), c14F1, postF1q14)
+		r[2] = add4(tmp13, z1)
+		r[6] = sub4(tmp13, z1)
+
+		tmp10 = add4(tmp4, tmp5)
+		tmp11 = add4(tmp5, tmp6)
+		tmp12 = add4(tmp6, tmp7)
+		z5 := mul4(sub4(tmp10, tmp12), c14F2, postF2q14)
+		z2 := add4(mul4(tmp10, c14F3, postF3q14), z5)
+		z4 := add4(mul4(tmp12, c14F4, postF4q14), z5)
+		z3 := mul4(tmp11, c14F1, postF1q14)
+		z11, z13 := add4(tmp7, z3), sub4(tmp7, z3)
+		r[5] = add4(z13, z2)
+		r[3] = sub4(z13, z2)
+		r[1] = add4(z11, z4)
+		r[7] = sub4(z11, z4)
+	}
+	// Column pass over 32-bit fields: lo carries blocks 0 and 2, hi
+	// carries 1 and 3. The widen (16-bit lanes → fields, bias b14 → b18)
+	// is fused into fdctCols2's first butterfly loads — a separate widen
+	// pass costs 128 extra stores+loads on the hot path — and both field
+	// pairs advance through one loop so each row-pass word is loaded once.
+	var lo, hi [64]uint64
+	fdctCols2(&lo, &hi, &w)
+	// Unpack. Output stays at Q2 — the ×4 is folded into the set's
+	// fwdScale (and so into the quant tables), saving 256 multiplies here.
+	for i := 0; i < 64; i++ {
+		out[0][i] = float32(int32(uint32(lo[i])) - b18)
+		out[2][i] = float32(int32(lo[i]>>32) - b18)
+		out[1][i] = float32(int32(uint32(hi[i])) - b18)
+		out[3][i] = float32(int32(hi[i]>>32) - b18)
+	}
+}
+
+// fdctCols2 runs the fdct column pass over both 32-bit-field lane pairs
+// (canonical bias b18, Q12 constants), widening on the fly: the first
+// butterfly stage loads 16-bit lanes straight out of the row-pass words
+// (the even lanes feed lo, the odd lanes hi) and lifts the bias b14 → b18.
+// fdctCol1 is one column of one pair; the [x : x+57] reslices pin the
+// strided c[0]..c[56] accesses under a single bounds check each.
+func fdctCols2(lo, hi, w *[64]uint64) {
+	const lift = uint64(b18-b14) * lane2
+	for x := 0; x < 8; x++ {
+		r := w[x : x+57]
+		w0, w1, w2, w3 := r[0], r[8], r[16], r[24]
+		w4, w5, w6, w7 := r[32], r[40], r[48], r[56]
+		fdctCol1(lo[x:x+57],
+			w0&evn16+lift, w1&evn16+lift, w2&evn16+lift, w3&evn16+lift,
+			w4&evn16+lift, w5&evn16+lift, w6&evn16+lift, w7&evn16+lift)
+		fdctCol1(hi[x:x+57],
+			w0>>16&evn16+lift, w1>>16&evn16+lift, w2>>16&evn16+lift, w3>>16&evn16+lift,
+			w4>>16&evn16+lift, w5>>16&evn16+lift, w6>>16&evn16+lift, w7>>16&evn16+lift)
+	}
+}
+
+func fdctCol1(c []uint64, i0, i1, i2, i3, i4, i5, i6, i7 uint64) {
+	_ = c[56]
+	tmp0, tmp7 := add2(i0, i7, pk2b18), sub2(i0, i7, pk2b18)
+	tmp1, tmp6 := add2(i1, i6, pk2b18), sub2(i1, i6, pk2b18)
+	tmp2, tmp5 := add2(i2, i5, pk2b18), sub2(i2, i5, pk2b18)
+	tmp3, tmp4 := add2(i3, i4, pk2b18), sub2(i3, i4, pk2b18)
+
+	tmp10, tmp13 := add2(tmp0, tmp3, pk2b18), sub2(tmp0, tmp3, pk2b18)
+	tmp11, tmp12 := add2(tmp1, tmp2, pk2b18), sub2(tmp1, tmp2, pk2b18)
+	c[0] = add2(tmp10, tmp11, pk2b18)
+	c[32] = sub2(tmp10, tmp11, pk2b18)
+	z1 := mul2(add2(tmp12, tmp13, pk2b18), c12F1, postF1c)
+	c[16] = add2(tmp13, z1, pk2b18)
+	c[48] = sub2(tmp13, z1, pk2b18)
+
+	tmp10 = add2(tmp4, tmp5, pk2b18)
+	tmp11 = add2(tmp5, tmp6, pk2b18)
+	tmp12 = add2(tmp6, tmp7, pk2b18)
+	z5 := mul2(sub2(tmp10, tmp12, pk2b18), c12F2, postF2c)
+	z2 := add2(mul2(tmp10, c12F3, postF3c), z5, pk2b18)
+	z4 := add2(mul2(tmp12, c12F4, postF4c), z5, pk2b18)
+	z3 := mul2(tmp11, c12F1, postF1c)
+	z11, z13 := add2(tmp7, z3, pk2b18), sub2(tmp7, z3, pk2b18)
+	c[40] = add2(z13, z2, pk2b18)
+	c[24] = sub2(z13, z2, pk2b18)
+	c[8] = add2(z11, z4, pk2b18)
+	c[56] = sub2(z11, z4, pk2b18)
+}
+
+// idct8x4 computes idct8's flow graph for four blocks at once, two 32-bit
+// fields per word. Input is the scaled coefficient domain (dequantised,
+// |in| ≤ ~10³ like idct8Int); output is the reconstruction. Arithmetic is
+// Q8 with Q15 constants end-to-end — same precision class as idct8Int.
+func idct8x4(in *[4][64]float32, out *[4][64]float32) {
+	// Pack at Q8, bias b22; lo carries blocks 0/2, hi 1/3.
+	var lo, hi [64]uint64
+	for i := 0; i < 64; i++ {
+		s0 := uint64(uint32(int32(float64(in[0][i])*256 + (b22 + 0.5))))
+		s1 := uint64(uint32(int32(float64(in[1][i])*256 + (b22 + 0.5))))
+		s2 := uint64(uint32(int32(float64(in[2][i])*256 + (b22 + 0.5))))
+		s3 := uint64(uint32(int32(float64(in[3][i])*256 + (b22 + 0.5))))
+		lo[i] = s0 | s2<<32
+		hi[i] = s1 | s3<<32
+	}
+	idctPass2(&lo)
+	idctPass2(&hi)
+	const invQ8 = float32(1) / 256
+	for i := 0; i < 64; i++ {
+		out[0][i] = float32(int32(uint32(lo[i]))-b26) * invQ8
+		out[2][i] = float32(int32(lo[i]>>32)-b26) * invQ8
+		out[1][i] = float32(int32(uint32(hi[i]))-b26) * invQ8
+		out[3][i] = float32(int32(hi[i]>>32)-b26) * invQ8
+	}
+}
+
+// idctPass2 runs both idct passes over one two-field lane pair, Q8
+// throughout: columns at bias b22, rows at bias b26 (pass-2 intermediates
+// reach ~11.75² × the input magnitude, so the canonical bias widens
+// between passes instead of the values descaling).
+func idctPass2(a *[64]uint64) {
+	// Columns (bias b22).
+	for x := 0; x < 8; x++ {
+		c := a[x:]
+		o0, o1, o2, o3, o4, o5, o6, o7 := idctLine2(
+			c[0], c[8], c[16], c[24], c[32], c[40], c[48], c[56],
+			pk2b22, postI1a, postI2a, postI3a, postI4a)
+		c[0], c[8], c[16], c[24] = o0, o1, o2, o3
+		c[32], c[40], c[48], c[56] = o4, o5, o6, o7
+	}
+	// Lift the canonical bias b22 → b26 for the wider second pass.
+	lift := pk2(b26 - b22)
+	for i := 0; i < 64; i++ {
+		a[i] += lift
+	}
+	// Rows (bias b26).
+	for y := 0; y < 8; y++ {
+		r := a[y*8 : y*8+8]
+		o0, o1, o2, o3, o4, o5, o6, o7 := idctLine2(
+			r[0], r[1], r[2], r[3], r[4], r[5], r[6], r[7],
+			pk2b26, postI1b, postI2b, postI3b, postI4b)
+		r[0], r[1], r[2], r[3] = o0, o1, o2, o3
+		r[4], r[5], r[6], r[7] = o4, o5, o6, o7
+	}
+}
+
+// idctLine2 is one 1-D inverse AAN butterfly over two 32-bit fields, Q15
+// constants via mulI2. aanI4 is negative; the packed flow applies its
+// magnitude cI4m and folds the sign into the butterfly (z5 − |c|·z10).
+// That is NOT the same rounding as idct8Int's mulQ15(z10, cI4) + z5 —
+// (−x+h)≫s ≠ −((x−h)≫s) in general — so the scalar lane (idctLaneLine)
+// mirrors the packed order literally: z5 − mulQ15(z10, cI4m).
+func idctLine2(i0, i1, i2, i3, i4, i5, i6, i7, pb, post1, post2, post3, post4 uint64,
+) (o0, o1, o2, o3, o4, o5, o6, o7 uint64) {
+	tmp10 := add2(i0, i4, pb)
+	tmp11 := sub2(i0, i4, pb)
+	tmp13 := add2(i2, i6, pb)
+	tmp12 := sub2(mulI2(sub2(i2, i6, pb), cI1, post1), tmp13, pb)
+	tmp0, tmp3 := add2(tmp10, tmp13, pb), sub2(tmp10, tmp13, pb)
+	tmp1, tmp2 := add2(tmp11, tmp12, pb), sub2(tmp11, tmp12, pb)
+
+	z13 := add2(i5, i3, pb)
+	z10 := sub2(i5, i3, pb)
+	z11 := add2(i1, i7, pb)
+	z12 := sub2(i1, i7, pb)
+	tmp7 := add2(z11, z13, pb)
+	tmp11 = mulI2(sub2(z11, z13, pb), cI1, post1)
+	z5 := mulI2(add2(z10, z12, pb), cI2, post2)
+	tmp10 = sub2(mulI2(z12, cI3, post3), z5, pb)
+	tmp12 = sub2(z5, mulI2(z10, cI4m, post4), pb)
+	tmp6 := sub2(tmp12, tmp7, pb)
+	tmp5 := sub2(tmp11, tmp6, pb)
+	tmp4 := add2(tmp10, tmp5, pb)
+
+	return add2(tmp0, tmp7, pb),
+		add2(tmp1, tmp6, pb),
+		add2(tmp2, tmp5, pb),
+		sub2(tmp3, tmp4, pb),
+		add2(tmp3, tmp4, pb),
+		sub2(tmp2, tmp5, pb),
+		sub2(tmp1, tmp6, pb),
+		sub2(tmp0, tmp7, pb)
+}
+
+// mulL14/mulL12 are the scalar-lane twins of mul4/mul2: same constant,
+// same rounding half, same floor shift. Products stay inside int32 for
+// every in-contract operand (≤ 2^17·2^13.4 ≈ 2^30.4 worst case).
+func mulL14(v, c int32) int32 { return (v*c + 1<<13) >> 14 }
+func mulL12(v, c int32) int32 { return (v*c + 1<<11) >> 12 }
+
+// fdct8Lane is exactly one lane of fdct8x4 in scalar int32 arithmetic —
+// the bit-identity reference for the packed forward transform, and the
+// single-block fdct of the packed tier's transformSet.
+func fdct8Lane(in, out *[64]float32) {
+	var blk [64]int32
+	for i := range blk {
+		blk[i] = int32(in[i]*4+(b14+0.5)) - b14
+	}
+	// Rows (Q14 constants).
+	for y := 0; y < 8; y++ {
+		r := blk[y*8 : y*8+8]
+		tmp0, tmp7 := r[0]+r[7], r[0]-r[7]
+		tmp1, tmp6 := r[1]+r[6], r[1]-r[6]
+		tmp2, tmp5 := r[2]+r[5], r[2]-r[5]
+		tmp3, tmp4 := r[3]+r[4], r[3]-r[4]
+
+		tmp10, tmp13 := tmp0+tmp3, tmp0-tmp3
+		tmp11, tmp12 := tmp1+tmp2, tmp1-tmp2
+		r[0] = tmp10 + tmp11
+		r[4] = tmp10 - tmp11
+		z1 := mulL14(tmp12+tmp13, c14F1)
+		r[2] = tmp13 + z1
+		r[6] = tmp13 - z1
+
+		tmp10 = tmp4 + tmp5
+		tmp11 = tmp5 + tmp6
+		tmp12 = tmp6 + tmp7
+		z5 := mulL14(tmp10-tmp12, c14F2)
+		z2 := mulL14(tmp10, c14F3) + z5
+		z4 := mulL14(tmp12, c14F4) + z5
+		z3 := mulL14(tmp11, c14F1)
+		z11, z13 := tmp7+z3, tmp7-z3
+		r[5] = z13 + z2
+		r[3] = z13 - z2
+		r[1] = z11 + z4
+		r[7] = z11 - z4
+	}
+	// Columns (Q12 constants).
+	for x := 0; x < 8; x++ {
+		c := blk[x:]
+		tmp0, tmp7 := c[0]+c[56], c[0]-c[56]
+		tmp1, tmp6 := c[8]+c[48], c[8]-c[48]
+		tmp2, tmp5 := c[16]+c[40], c[16]-c[40]
+		tmp3, tmp4 := c[24]+c[32], c[24]-c[32]
+
+		tmp10, tmp13 := tmp0+tmp3, tmp0-tmp3
+		tmp11, tmp12 := tmp1+tmp2, tmp1-tmp2
+		c[0] = tmp10 + tmp11
+		c[32] = tmp10 - tmp11
+		z1 := mulL12(tmp12+tmp13, c12F1)
+		c[16] = tmp13 + z1
+		c[48] = tmp13 - z1
+
+		tmp10 = tmp4 + tmp5
+		tmp11 = tmp5 + tmp6
+		tmp12 = tmp6 + tmp7
+		z5 := mulL12(tmp10-tmp12, c12F2)
+		z2 := mulL12(tmp10, c12F3) + z5
+		z4 := mulL12(tmp12, c12F4) + z5
+		z3 := mulL12(tmp11, c12F1)
+		z11, z13 := tmp7+z3, tmp7-z3
+		c[40] = z13 + z2
+		c[24] = z13 - z2
+		c[8] = z11 + z4
+		c[56] = z11 - z4
+	}
+	for i := range blk {
+		out[i] = float32(blk[i])
+	}
+}
+
+// idct8Lane is exactly one lane of idct8x4 in scalar int32 arithmetic —
+// the bit-identity reference for the packed inverse transform, and the
+// single-block idct of the packed tier's transformSet. Q8 in, Q8 out,
+// Q15 constants — the same precision layout as idct8Int; the only
+// arithmetic difference is the negative-constant fold (see idctLaneLine).
+func idct8Lane(in, out *[64]float32) {
+	var blk [64]int32
+	for i := range blk {
+		blk[i] = int32(float64(in[i])*256+(b22+0.5)) - b22
+	}
+	// Columns.
+	for x := 0; x < 8; x++ {
+		c := blk[x:]
+		o0, o1, o2, o3, o4, o5, o6, o7 := idctLaneLine(
+			c[0], c[8], c[16], c[24], c[32], c[40], c[48], c[56])
+		c[0], c[8], c[16], c[24] = o0, o1, o2, o3
+		c[32], c[40], c[48], c[56] = o4, o5, o6, o7
+	}
+	// Rows.
+	for y := 0; y < 8; y++ {
+		r := blk[y*8 : y*8+8]
+		o0, o1, o2, o3, o4, o5, o6, o7 := idctLaneLine(
+			r[0], r[1], r[2], r[3], r[4], r[5], r[6], r[7])
+		r[0], r[1], r[2], r[3] = o0, o1, o2, o3
+		r[4], r[5], r[6], r[7] = o4, o5, o6, o7
+	}
+	const invQ8 = float32(1) / 256
+	for i := range blk {
+		out[i] = float32(blk[i]) * invQ8
+	}
+}
+
+// idctLaneLine is one scalar 1-D inverse butterfly, Q15 constants. tmp12
+// mirrors the packed sign fold (z5 − mulQ15(z10, cI4m)) rather than
+// idct8Int's mulQ15(z10, cI4) + z5; the two differ by at most one ulp of
+// the ≫15 rounding, inside the tier's accuracy contract.
+func idctLaneLine(i0, i1, i2, i3, i4, i5, i6, i7 int32,
+) (o0, o1, o2, o3, o4, o5, o6, o7 int32) {
+	tmp10 := i0 + i4
+	tmp11 := i0 - i4
+	tmp13 := i2 + i6
+	tmp12 := mulQ15(i2-i6, cI1) - tmp13
+	tmp0, tmp3 := tmp10+tmp13, tmp10-tmp13
+	tmp1, tmp2 := tmp11+tmp12, tmp11-tmp12
+
+	z13 := i5 + i3
+	z10 := i5 - i3
+	z11 := i1 + i7
+	z12 := i1 - i7
+	tmp7 := z11 + z13
+	tmp11 = mulQ15(z11-z13, cI1)
+	z5 := mulQ15(z10+z12, cI2)
+	tmp10 = mulQ15(z12, cI3) - z5
+	tmp12 = z5 - mulQ15(z10, cI4m)
+	tmp6 := tmp12 - tmp7
+	tmp5 := tmp11 - tmp6
+	tmp4 := tmp10 + tmp5
+
+	return tmp0 + tmp7, tmp1 + tmp6, tmp2 + tmp5, tmp3 - tmp4,
+		tmp3 + tmp4, tmp2 - tmp5, tmp1 - tmp6, tmp0 - tmp7
+}
+
+// int4xTransforms returns the packed-lane transform set: scalar lane
+// transforms as the single-block entries (the bit-identity twins of the
+// packed pair) and fdct8x4/idct8x4 as the batch entries the macroblock
+// coders use. Diagonal scales are the AAN set's — the Q14/Q12 constants
+// approximate the same flow graph — so quant tables and bitstreams stay
+// interchangeable with every other set.
+func int4xTransforms() transformSet {
+	a := aanTransforms()
+	// The forward pair emits Q2 (4× the AAN coefficient domain) so the
+	// unpack loop skips its descale multiplies; fwdScale absorbs the 4
+	// and the folded quant tables keep levels — and bitstreams —
+	// interchangeable with every other set.
+	fwd := a.fwdScale
+	for i := range fwd {
+		fwd[i] *= 4
+	}
+	ts := newTransformSet(fdct8Lane, idct8Lane, fwd, a.invScale)
+	ts.fdct4x = fdct8x4
+	ts.idct4x = idct8x4
+	return ts
+}

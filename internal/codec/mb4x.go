@@ -1,0 +1,65 @@
+package codec
+
+import (
+	"nerve/internal/bits"
+	"nerve/internal/vmath"
+)
+
+// Batched macroblock coding: a 16×16 macroblock is exactly four 8×8 luma
+// blocks, the unit of work of the packed SWAR transforms (dct_int4x.go).
+// When the active transform set carries batch entries (fdct4x/idct4x),
+// the macroblock coders funnel all four blocks through one packed call on
+// each side of the entropy stage instead of four scalar transforms.
+// Entropy bits are still written/read per block in raster order between
+// the two transforms, so the bitstream is identical to the scalar path's
+// (the packed lanes are bit-identical to the scalar lane transforms), and
+// the encoder's reconstruction goes through the same idct4x the decoder
+// uses — the closed loop stays closed.
+
+// codeMB4 transforms, quantises and entropy-codes four gathered blocks,
+// returning the reconstructed (dequantised, inverse-transformed) blocks.
+// It is codeBlock ×4 with the transforms batched.
+func codeMB4(blks *[4][64]float32, q float32, w *bits.Writer) *[4][64]float32 {
+	var coef [4][64]float32
+	xf.fdct4x(blks, &coef)
+	var levels [64]int32
+	var deq [4][64]float32
+	for b := 0; b < 4; b++ {
+		quantise(&coef[b], q, &levels)
+		writeLevels(&levels, w)
+		dequantise(&levels, q, &deq[b])
+	}
+	var rec [4][64]float32
+	xf.idct4x(&deq, &rec)
+	return &rec
+}
+
+// decodeMB4 entropy-decodes and reconstructs four blocks through one
+// batched inverse transform (decodeBlock ×4 with the idct batched).
+func (d *Decoder) decodeMB4(r *bits.Reader, q float32) (*[4][64]float32, error) {
+	var deq [4][64]float32
+	var levels [64]int32
+	for b := 0; b < 4; b++ {
+		if err := readLevels(r, &levels); err != nil {
+			return nil, err
+		}
+		dequantise(&levels, q, &deq[b])
+	}
+	var rec [4][64]float32
+	xf.idct4x(&deq, &rec)
+	return &rec, nil
+}
+
+// gatherIntra4 collects the four blocks of the macroblock at (cx, cy)
+// against the flat intra predictor 128.
+func gatherIntra4(frame *vmath.Plane, cx, cy int, blks *[4][64]float32) {
+	for b := 0; b < 4; b++ {
+		x0 := cx + (b&1)*blockSize
+		y0 := cy + (b>>1)*blockSize
+		for y := 0; y < blockSize; y++ {
+			for x := 0; x < blockSize; x++ {
+				blks[b][y*8+x] = frame.AtClamp(x0+x, y0+y) - 128
+			}
+		}
+	}
+}

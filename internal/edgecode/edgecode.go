@@ -150,6 +150,15 @@ type Extractor struct {
 	history *vmath.Plane // He; persistent pooled plane, refreshed in place
 
 	sortScratch []float64 // percentile scratch, reused across frames
+
+	// Byte-tier state (ExtractBytes): its own He plus reusable scratch so
+	// the fixed-point path allocates nothing in steady state.
+	histBytes      []int32 // Q12 magnitudes
+	workBytes      *vmath.BytePlane
+	gradScratch    []int32 // squared gradient magnitudes
+	thinScratch    []int32
+	pooledScratch  []int32 // Q12 magnitudes at code resolution
+	intSortScratch []int
 }
 
 // NewExtractor returns an extractor producing w×h codes. Zero w/h select
@@ -168,6 +177,7 @@ func NewExtractor(w, h int) *Extractor {
 func (e *Extractor) Reset() {
 	vmath.Put(e.history)
 	e.history = nil
+	e.histBytes = nil
 }
 
 // Extract computes the binary point code of a frame. The frame may be any

@@ -132,6 +132,14 @@ func New(cfg Config) *Recoverer {
 // Config returns the effective configuration (defaults applied).
 func (r *Recoverer) Config() Config { return r.cfg }
 
+// SetFixedPoint switches the kernel tier between calls — the adaptive
+// client flips it per frame under deadline pressure. It is safe at any
+// frame boundary: the float and byte tiers keep separate temporal history
+// (history/historyB) and prev-work caches, each re-seeded lazily on the
+// first frame its tier runs, so a switch never reads state written in the
+// other tier's numeric domain. Not safe concurrently with Recover.
+func (r *Recoverer) SetFixedPoint(on bool) { r.cfg.FixedPoint = on }
+
 // Reset clears the temporal history state.
 func (r *Recoverer) Reset() {
 	vmath.Put(r.history)

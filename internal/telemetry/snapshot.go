@@ -11,7 +11,11 @@ import (
 // it when a field changes meaning so downstream analysis can dispatch.
 // v2: added the pipeline block; for pipelined clients the deadline block
 // now measures per-frame critical-path time, not summed stage time.
-const SnapshotSchema = 2
+// v3: added the tier.* counters (tier.float_frames, tier.fixed_frames,
+// tier.switches, tier.probes) — per-frame kernel-tier accounting from the
+// adaptive tier governor; sessions pinned to one tier count every frame
+// under that tier with zero switches and probes.
+const SnapshotSchema = 3
 
 // StageStats is one stage's aggregate in a Snapshot. All times are
 // milliseconds of wall clock.
